@@ -1,0 +1,68 @@
+"""Kernel-level ablations: CSC-vs-CSR storage, load-balance permutation,
+parent-selection semiring (DESIGN.md Section 5)."""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.bench.harness import (
+    run_balance_ablation,
+    run_csc_ablation,
+    run_semiring_ablation,
+)
+from repro.semiring import SELECT2ND_MIN, spmspv_csc, spmspv_csr
+from repro.sparse import CSCMatrix, SparseVector
+
+
+def test_csc_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_csc_ablation,
+        kwargs=dict(scale=0.8, quick=False, names=["nd24k", "serena"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_csc_csr", report)
+    assert "CSR/CSC" in report
+
+
+def test_balance_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_balance_ablation,
+        kwargs=dict(scale=0.8, quick=False, names=["nd24k", "ldoor", "serena"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_balance", report)
+    assert "random permuted" in report
+
+
+def test_semiring_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_semiring_ablation,
+        kwargs=dict(scale=0.8, quick=False, names=["nd24k", "ldoor", "serena"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_semiring", report)
+    assert "bw (min parent)" in report
+
+
+def _sparse_frontier(A, frac, seed=0):
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(A.nrows * frac))
+    idx = np.sort(rng.choice(A.nrows, nnz, replace=False)).astype(np.int64)
+    return SparseVector(A.nrows, idx, np.arange(nnz, dtype=np.float64))
+
+
+def test_csc_kernel_sparse_frontier(benchmark, suite_small):
+    """CSC kernel on a 1% frontier — the regime the paper picked CSC for."""
+    A = suite_small["nd24k"]
+    Ac = CSCMatrix(A.nrows, A.ncols, A.indptr, A.indices, A.data)
+    x = _sparse_frontier(A, 0.01)
+    benchmark(spmspv_csc, Ac, x, SELECT2ND_MIN)
+
+
+def test_csr_kernel_sparse_frontier(benchmark, suite_small):
+    """CSR kernel on the same 1% frontier (expected slower)."""
+    A = suite_small["nd24k"]
+    x = _sparse_frontier(A, 0.01)
+    benchmark(spmspv_csr, A, x, SELECT2ND_MIN)

@@ -1,0 +1,52 @@
+"""Section IV.B ablation — specialized bucket sort vs general samplesort."""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.bench.harness import run_sort_ablation
+from repro.distributed import (
+    DistContext,
+    DistDenseVector,
+    DistSparseVector,
+    d_sortperm,
+    d_sortperm_samplesort,
+)
+from repro.machine import ProcessGrid, edison
+from repro.sparse import SparseVector
+
+
+def test_sort_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_sort_ablation,
+        kwargs=dict(scale=0.8, quick=False, names=["nd24k", "ldoor", "serena"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_sort", report)
+    assert "same ordering" in report
+
+
+def _frontier(n=4000, nnz=1200, span=300, seed=1):
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(n, nnz, replace=False)).astype(np.int64)
+    x = SparseVector(n, idx, rng.integers(0, span, nnz).astype(np.float64))
+    degrees = rng.integers(1, 40, n).astype(np.float64)
+    return x, degrees
+
+
+def test_bucket_sortperm_wall_time(benchmark):
+    x, degrees = _frontier()
+    ctx = DistContext(ProcessGrid(3, 3), edison())
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, degrees)
+    out = benchmark(d_sortperm, dx, dd, 0, 300, "bench")
+    assert sum(i.size for i in out.indices) == 1200
+
+
+def test_samplesort_sortperm_wall_time(benchmark):
+    x, degrees = _frontier()
+    ctx = DistContext(ProcessGrid(3, 3), edison())
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, degrees)
+    out = benchmark(d_sortperm_samplesort, dx, dd, "bench")
+    assert sum(i.size for i in out.indices) == 1200

@@ -1,0 +1,56 @@
+"""Extension experiments: cross-baseline quality and skyline Cholesky."""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.baselines import gps_ordering, sloan_ordering
+from repro.bench.harness import run_quality, run_skyline
+from repro.matrices import stencil_2d
+from repro.solvers.skyline import SkylineCholesky
+from repro.solvers.solve_model import laplacian_like_values
+from repro.sparse import permute_symmetric, random_symmetric_permutation
+from repro.core import rcm_serial
+
+
+def test_quality_report(benchmark):
+    report = benchmark.pedantic(
+        run_quality,
+        kwargs=dict(scale=0.8, quick=False, names=["nd24k", "ldoor", "serena"]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("extension_quality", report)
+    assert "GPS" in report
+
+
+def test_skyline_report(benchmark):
+    report = benchmark.pedantic(
+        run_skyline, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
+    )
+    save_report("extension_skyline", report)
+    assert "factor flops" in report
+
+
+def _scrambled_spd(side=16, seed=3):
+    A, _ = random_symmetric_permutation(stencil_2d(side, side), seed)
+    return A
+
+
+def test_skyline_factor_rcm_ordered(benchmark):
+    """Wall time of the envelope factorization under RCM order."""
+    A = _scrambled_spd()
+    spd = laplacian_like_values(permute_symmetric(A, rcm_serial(A).perm))
+    chol = benchmark(SkylineCholesky, spd)
+    assert chol.storage < 10_000
+
+
+def test_gps_ordering_wall_time(benchmark):
+    A = _scrambled_spd(20)
+    ordering = benchmark(gps_ordering, A)
+    assert ordering.n == A.nrows
+
+
+def test_sloan_ordering_wall_time(benchmark):
+    A = _scrambled_spd(20)
+    ordering = benchmark(sloan_ordering, A)
+    assert ordering.n == A.nrows

@@ -1,0 +1,51 @@
+"""Fig. 1 — CG + block-Jacobi solve time, natural vs RCM ordering.
+
+Regenerates the paper's Fig. 1 series (solve time vs cores for both
+orderings) and benchmarks the real CG solver on the RCM-ordered system.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.baselines import natural_ordering
+from repro.bench.harness import run_fig1
+from repro.core import rcm_serial
+from repro.matrices import thermal2_like
+from repro.solvers import BlockJacobiPreconditioner, conjugate_gradient
+from repro.solvers.solve_model import laplacian_like_values
+from repro.sparse import permute_symmetric
+
+
+def test_fig1_report(benchmark):
+    report = benchmark.pedantic(
+        run_fig1, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
+    )
+    save_report("fig1_cg", report)
+    assert "rcm speedup" in report
+
+
+def test_cg_solve_rcm_ordered(benchmark):
+    """Wall time of a real preconditioned CG solve (RCM ordering)."""
+    A = thermal2_like(0.5)
+    ordered = permute_symmetric(A, rcm_serial(A).perm)
+    spd = laplacian_like_values(ordered)
+    pre = BlockJacobiPreconditioner(spd, 16)
+    b = np.random.default_rng(0).standard_normal(spd.nrows)
+
+    result = benchmark(
+        conjugate_gradient, spd, b, preconditioner=pre.apply, tol=1e-6
+    )
+    assert result.converged
+
+
+def test_cg_solve_natural_ordered(benchmark):
+    """Wall time of the same solve under the natural (scrambled) order."""
+    A = thermal2_like(0.5)
+    spd = laplacian_like_values(permute_symmetric(A, natural_ordering(A).perm))
+    pre = BlockJacobiPreconditioner(spd, 16)
+    b = np.random.default_rng(0).standard_normal(spd.nrows)
+
+    result = benchmark(
+        conjugate_gradient, spd, b, preconditioner=pre.apply, tol=1e-6
+    )
+    assert result.converged

@@ -1,0 +1,27 @@
+"""Fig. 3 — suite structural table; serial RCM wall-time benchmarks."""
+
+from benchmarks.conftest import BENCH_SCALE, save_report
+from repro.bench.harness import run_fig3
+from repro.core import rcm_serial
+
+
+def test_fig3_report(benchmark):
+    report = benchmark.pedantic(
+        run_fig3, kwargs=dict(scale=BENCH_SCALE, quick=False), rounds=1, iterations=1
+    )
+    save_report("fig3_suite", report)
+    assert "pseudo-diam" in report
+
+
+def test_serial_rcm_mesh(benchmark, suite_small):
+    """Serial RCM wall time on the high-diameter structural surrogate."""
+    A = suite_small["ldoor"]
+    ordering = benchmark(rcm_serial, A)
+    assert ordering.n == A.nrows
+
+
+def test_serial_rcm_heavy(benchmark, suite_small):
+    """Serial RCM wall time on the heavy low-diameter CI surrogate."""
+    A = suite_small["li7nmax6"]
+    ordering = benchmark(rcm_serial, A)
+    assert ordering.n == A.nrows

@@ -1,0 +1,29 @@
+"""Fig. 4 — distributed RCM strong scaling with runtime breakdown."""
+
+from benchmarks.conftest import BENCH_MATRICES, BENCH_SCALE, save_report
+from repro.bench.harness import run_fig4
+from repro.bench.sweep import strong_scaling_rcm
+from repro.machine import edison
+
+
+def test_fig4_report(benchmark):
+    report = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(scale=BENCH_SCALE, quick=False, names=BENCH_MATRICES),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4_scaling", report)
+    for col in ("periph spmspv", "order sort", "speedup"):
+        assert col in report
+
+
+def test_one_scaling_point_wall_time(benchmark, suite_small):
+    """Simulation wall time of one 216-core (6x6 grid) RCM run."""
+    A = suite_small["nd24k"]
+
+    def run():
+        return strong_scaling_rcm(A, [216], machine=edison().scaled(1e-3))
+
+    points = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert points[0].cores == 216

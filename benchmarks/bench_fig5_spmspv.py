@@ -1,0 +1,48 @@
+"""Fig. 5 — SpMSpV computation vs communication split; kernel timings."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_MATRICES, BENCH_SCALE, save_report
+from repro.bench.harness import run_fig5
+from repro.distributed import DistContext, DistSparseMatrix, DistSparseVector, dist_spmspv
+from repro.machine import ProcessGrid, edison
+from repro.semiring import SELECT2ND_MIN, spmspv_csc
+from repro.sparse import CSCMatrix, SparseVector
+
+
+def test_fig5_report(benchmark):
+    report = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(scale=BENCH_SCALE, quick=False, names=BENCH_MATRICES),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig5_spmspv", report)
+    assert "communication s" in report
+
+
+def _mid_frontier(A, frac=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(A.nrows * frac))
+    idx = np.sort(rng.choice(A.nrows, nnz, replace=False)).astype(np.int64)
+    return SparseVector(A.nrows, idx, np.arange(nnz, dtype=np.float64))
+
+
+def test_sequential_spmspv_kernel(benchmark, suite_small):
+    """CSC SpMSpV kernel wall time on a 5% frontier (the hot kernel)."""
+    A = suite_small["nd24k"]
+    Ac = CSCMatrix(A.nrows, A.ncols, A.indptr, A.indices, A.data)
+    x = _mid_frontier(A)
+    y = benchmark(spmspv_csc, Ac, x, SELECT2ND_MIN)
+    assert y.nnz > 0
+
+
+def test_distributed_spmspv_step(benchmark, suite_small):
+    """One distributed SpMSpV superstep on a 3x3 grid (simulation cost)."""
+    A = suite_small["nd24k"]
+    ctx = DistContext(ProcessGrid(3, 3), edison())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    dx = DistSparseVector.from_sparse(ctx, _mid_frontier(A))
+
+    y = benchmark(dist_spmspv, dA, dx, SELECT2ND_MIN, "bench")
+    assert sum(i.size for i in y.indices) > 0

@@ -1,0 +1,39 @@
+"""Fig. 6 — flat MPI vs hybrid OpenMP+MPI breakdown for ldoor."""
+
+from benchmarks.conftest import save_report
+from repro.bench.harness import run_fig6
+from repro.distributed import rcm_distributed
+from repro.machine import edison
+
+
+def test_fig6_report(benchmark):
+    report = benchmark.pedantic(
+        run_fig6, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
+    )
+    save_report("fig6_flat_mpi", report)
+    assert "flat/hybrid" in report
+
+
+def test_flat_mpi_simulation_wall_time(benchmark, suite_small):
+    """Simulation wall time at 36 flat-MPI ranks (vs 4 hybrid below)."""
+    A = suite_small["ldoor"]
+    result = benchmark.pedantic(
+        rcm_distributed,
+        args=(A,),
+        kwargs=dict(nprocs=36, machine=edison().with_threads(1), random_permute=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ordering.n == A.nrows
+
+
+def test_hybrid_simulation_wall_time(benchmark, suite_small):
+    A = suite_small["ldoor"]
+    result = benchmark.pedantic(
+        rcm_distributed,
+        args=(A,),
+        kwargs=dict(nprocs=4, machine=edison().with_threads(9), random_permute=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ordering.n == A.nrows

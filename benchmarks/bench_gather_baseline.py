@@ -1,0 +1,29 @@
+"""Section V.C — gather-to-root baseline vs distributed RCM."""
+
+from benchmarks.conftest import save_report
+from repro.baselines import gather_then_rcm
+from repro.bench.harness import run_gather
+from repro.distributed import DistContext, DistSparseMatrix
+from repro.machine import ProcessGrid, edison
+
+
+def test_gather_report(benchmark):
+    report = benchmark.pedantic(
+        run_gather, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
+    )
+    save_report("gather_baseline", report)
+    assert "pipeline / distributed" in report
+    assert "paper-scale gather" in report
+
+
+def test_gather_pipeline_wall_time(benchmark, suite_small):
+    """Wall time of the gather -> SpMP-like -> scatter pipeline."""
+    A = suite_small["nd24k"]
+
+    def run():
+        ctx = DistContext(ProcessGrid(4, 4), edison())
+        dA = DistSparseMatrix.from_csr(ctx, A)
+        return gather_then_rcm(dA)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.total_seconds > 0

@@ -1,0 +1,33 @@
+"""Table II — shared-memory (SpMP-like) vs distributed RCM on one node."""
+
+from benchmarks.conftest import BENCH_MATRICES, BENCH_SCALE, save_report
+from repro.baselines import spmp_rcm
+from repro.bench.harness import run_table2
+from repro.distributed import rcm_distributed
+
+
+def test_table2_report(benchmark):
+    report = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(scale=BENCH_SCALE, quick=False, names=BENCH_MATRICES),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table2_shared", report)
+    assert "SpMP 24t" in report
+
+
+def test_spmp_rcm_wall_time(benchmark, suite_small):
+    """Wall time of the SpMP-like shared-memory ordering (serena)."""
+    A = suite_small["serena"]
+    result = benchmark(spmp_rcm, A)
+    assert result.ordering.n == A.nrows
+
+
+def test_distributed_rcm_single_node(benchmark, suite_small):
+    """Wall time of the simulated distributed RCM on a 2x2 grid."""
+    A = suite_small["serena"]
+    result = benchmark.pedantic(
+        rcm_distributed, args=(A,), kwargs=dict(nprocs=4), rounds=2, iterations=1
+    )
+    assert result.ordering.n == A.nrows

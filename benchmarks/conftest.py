@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and the report sink.
+
+Every ``bench_*`` module regenerates its paper table/figure through the
+harness in :mod:`repro.bench.harness`, saves the text report under
+``benchmarks/reports/`` (so it survives pytest's output capture), and
+prints it (visible with ``pytest -s``).  The pytest-benchmark timings
+measure the real wall time of the underlying kernels and of the
+simulation harness itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Scale/matrix defaults keeping the full bench run in minutes, not hours.
+BENCH_SCALE = 0.8
+BENCH_MATRICES = ["nd24k", "ldoor", "serena", "li7nmax6"]
+
+
+def save_report(name: str, report: str) -> None:
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+
+@pytest.fixture(scope="session")
+def suite_small():
+    """Suite surrogates at bench scale (built once per session)."""
+    from repro.matrices import build_suite
+
+    return build_suite(BENCH_SCALE, names=BENCH_MATRICES)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""RCM's payoff for a direct solver: envelope (skyline) Cholesky.
+
+The paper's very first motivation for profile reduction is direct
+methods: a small profile lets the factorization use the simple skyline
+data structure, and fill-in stays inside the envelope.  This example
+factors the same SPD system under three orderings (scrambled input,
+RCM, Sloan) and reports storage, flops, and factor wall time.
+
+Run:  python examples/direct_solver_envelope.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import sloan_ordering
+from repro.bench import format_table
+from repro.core import rcm_serial
+from repro.matrices import stencil_2d
+from repro.solvers import SkylineCholesky
+from repro.solvers.solve_model import laplacian_like_values
+from repro.sparse import permute_symmetric, random_symmetric_permutation
+
+
+def main() -> None:
+    mesh = stencil_2d(24, 24)
+    A, _ = random_symmetric_permutation(mesh, seed=11)
+
+    orderings = {
+        "scrambled input": np.arange(A.nrows, dtype=np.int64),
+        "RCM": rcm_serial(A).perm,
+        "Sloan": sloan_ordering(A).perm,
+    }
+
+    rows = []
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(A.nrows)
+    for label, perm in orderings.items():
+        spd = laplacian_like_values(permute_symmetric(A, perm))
+        t0 = time.perf_counter()
+        chol = SkylineCholesky(spd)
+        t_factor = time.perf_counter() - t0
+        x = chol.solve(b)
+        residual = float(np.linalg.norm(spd.matvec(x) - b))
+        rows.append(
+            [label, chol.storage, chol.flops, f"{t_factor * 1000:.1f} ms", f"{residual:.1e}"]
+        )
+
+    print(f"Envelope Cholesky on a scrambled 24x24 mesh Laplacian (n={A.nrows}):\n")
+    print(
+        format_table(
+            ["ordering", "factor storage", "factor flops", "factor time", "residual"],
+            rows,
+        )
+    )
+    print(
+        "\nStorage is n + profile; flops ~ sum of squared row bandwidths —"
+        "\nboth collapse under RCM, which is the paper's opening argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

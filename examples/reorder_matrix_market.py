@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reorder a Matrix Market file with distributed RCM (end-to-end tool).
+
+The workflow a downstream user actually wants: read a ``.mtx`` file,
+symmetrize if needed, compute RCM (optionally on a simulated process
+grid, with the paper's load-balancing random relabeling), report quality,
+and write the permuted matrix plus the permutation.
+
+Run:  python examples/reorder_matrix_market.py [input.mtx] [nprocs]
+
+Without arguments it generates a demo input (a scrambled 3D mesh) under
+/tmp and reorders that.
+"""
+
+import pathlib
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import rcm_distributed, read_matrix_market, write_matrix_market
+from repro.core.metrics import quality_of
+from repro.sparse import CSRMatrix, is_structurally_symmetric, permute_symmetric, symmetrize
+
+
+def demo_input() -> pathlib.Path:
+    from repro.matrices import stencil_3d
+    from repro.sparse import random_symmetric_permutation
+
+    A, _ = random_symmetric_permutation(stencil_3d(12, 12, 12), seed=1)
+    path = pathlib.Path(tempfile.gettempdir()) / "repro_demo_mesh.mtx"
+    write_matrix_market(path, A.to_coo(), symmetric=True)
+    print(f"(no input given: wrote demo matrix to {path})")
+    return path
+
+
+def main() -> None:
+    path = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else demo_input()
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    A = CSRMatrix.from_coo(read_matrix_market(path).drop_diagonal())
+    if not is_structurally_symmetric(A):
+        print("input pattern is unsymmetric: ordering A + A^T instead")
+        A = symmetrize(A)
+    print(f"read {path.name}: n={A.nrows}, nnz={A.nnz}")
+
+    result = rcm_distributed(A, nprocs=nprocs, random_permute=0)
+    ordering = result.ordering
+    q = quality_of(A, ordering.perm)
+    print(
+        f"RCM on a simulated {nprocs}-process grid: "
+        f"bandwidth {q.bw_before} -> {q.bw_after}, "
+        f"profile {q.profile_before} -> {q.profile_after}"
+    )
+    print(f"modeled distributed time: {result.modeled_seconds:.4f}s "
+          f"({result.spmspv_calls} SpMSpV supersteps)")
+
+    out_matrix = path.with_suffix(".rcm.mtx")
+    out_perm = path.with_suffix(".rcm.perm.txt")
+    write_matrix_market(
+        out_matrix, permute_symmetric(A, ordering.perm).to_coo(), symmetric=True
+    )
+    np.savetxt(out_perm, ordering.perm, fmt="%d")
+    print(f"wrote {out_matrix.name} and {out_perm.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""RCM's effect on an iterative solver (the paper's Fig. 1).
+
+Solves a thermal-style SPD system with CG + block Jacobi at increasing
+(simulated) core counts, under the natural ordering and under RCM.  Both
+of the paper's mechanisms appear:
+
+* block Jacobi captures more of the matrix inside its diagonal blocks
+  after RCM (fewer CG iterations), and
+* the 1D-distributed SpMV becomes nearest-neighbor (cheaper iterations),
+
+so the RCM advantage grows with the core count, as in Fig. 1.
+
+Run:  python examples/solver_preconditioning.py
+"""
+
+from repro.baselines import natural_ordering
+from repro.bench import format_table
+from repro.core import rcm_serial
+from repro.matrices import thermal2_like
+from repro.solvers import analyze_spmv_communication, model_cg_solve
+from repro.sparse import permute_symmetric
+
+
+def main() -> None:
+    A = thermal2_like(1.0)
+    rcm = rcm_serial(A)
+    nat = natural_ordering(A)
+    q = rcm.quality(A)
+    print(
+        f"thermal2 surrogate: n={A.nrows}, nnz={A.nnz}, "
+        f"bandwidth {q.bw_before} -> {q.bw_after} "
+        f"(paper thermal2: 1,226,000 -> 795)"
+    )
+
+    rows = []
+    for cores in (1, 4, 16, 64, 256):
+        pn = model_cg_solve(A, nat, cores, tol=1e-6)
+        pr = model_cg_solve(A, rcm, cores, tol=1e-6)
+        rows.append(
+            [
+                cores,
+                pn.iterations,
+                pr.iterations,
+                f"{pn.coverage:.2f}",
+                f"{pr.coverage:.2f}",
+                pn.total_seconds,
+                pr.total_seconds,
+                f"{pn.total_seconds / max(pr.total_seconds, 1e-300):.2f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cores", "nat iters", "rcm iters", "nat block cov",
+             "rcm block cov", "nat seconds", "rcm seconds", "rcm speedup"],
+            rows,
+            title="CG + block Jacobi, natural vs RCM ordering (Fig. 1)",
+        )
+    )
+
+    # the communication-locality mechanism, shown directly
+    print()
+    for label, ordering in (("natural", nat), ("RCM", rcm)):
+        plan = analyze_spmv_communication(permute_symmetric(A, ordering.perm), 16)
+        print(
+            f"SpMV ghost exchange at 16 ranks under {label:7s}: "
+            f"{plan.max_ghost_words:6d} ghost values, "
+            f"{plan.max_neighbors:2d} neighbor ranks"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs (which build a wheel) fail; keeping a setup.py and omitting the
+[build-system] table lets `pip install -e .` take the legacy
+`setup.py develop` path, which works without wheel.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Baseline orderings and pipelines the paper compares against."""
+
+from .gps import gps_ordering
+from .gather_rcm import GatherRCMResult, gather_then_rcm
+from .natural import natural_ordering
+from .scipy_rcm import scipy_rcm, to_scipy
+from .sloan import sloan_ordering
+from .spmp import SpMPResult, spmp_rcm, spmp_runtime_model
+
+__all__ = [
+    "natural_ordering",
+    "gps_ordering",
+    "scipy_rcm",
+    "to_scipy",
+    "sloan_ordering",
+    "spmp_rcm",
+    "SpMPResult",
+    "spmp_runtime_model",
+    "gather_then_rcm",
+    "GatherRCMResult",
+]

@@ -1,0 +1,65 @@
+"""The gather-then-order baseline (paper Section V.C).
+
+When the matrix is already distributed, the conventional way to use a
+shared-memory RCM code is: gather the structure onto one node, order
+there, broadcast the permutation back.  The paper's point is that this
+gather alone can cost ~3x the full distributed RCM (nlpkkt240 from 1024
+cores), besides being a memory bottleneck.  This module runs that whole
+pipeline on the simulated machine and reports its cost breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ordering import Ordering
+from ..machine.cost import CostLedger
+from ..sparse.csr import CSRMatrix
+from ..distributed.distmatrix import DistSparseMatrix
+from ..distributed.gather import gather_matrix_to_root, scatter_permutation
+from .spmp import spmp_rcm
+
+__all__ = ["GatherRCMResult", "gather_then_rcm"]
+
+
+@dataclass
+class GatherRCMResult:
+    """Costs of the gather -> shared-memory RCM -> scatter pipeline."""
+
+    ordering: Ordering
+    gather_seconds: float
+    order_seconds: float
+    scatter_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.gather_seconds + self.order_seconds + self.scatter_seconds
+
+
+def gather_then_rcm(
+    A: DistSparseMatrix, threads: int | None = None
+) -> GatherRCMResult:
+    """Run the baseline pipeline; all phases charged on ``A``'s machine.
+
+    ``threads`` is the node-level thread count for the shared-memory
+    ordering step (defaults to the machine's threads-per-process).
+    """
+    ctx = A.ctx
+    machine = ctx.machine
+    t = threads if threads is not None else machine.threads_per_process
+
+    global_A: CSRMatrix = gather_matrix_to_root(A, region="gather:matrix")
+    gather_seconds = ctx.ledger.region("gather:matrix").total_seconds
+
+    result = spmp_rcm(global_A)
+    order_seconds = result.runtime(machine, t)
+    ctx.ledger.charge_compute("gather:order", order_seconds, result.traversal_ops)
+
+    scatter_permutation(A, result.ordering.perm, region="gather:scatter")
+    scatter_seconds = ctx.ledger.region("gather:scatter").total_seconds
+    return GatherRCMResult(
+        ordering=result.ordering,
+        gather_seconds=gather_seconds,
+        order_seconds=order_seconds,
+        scatter_seconds=scatter_seconds,
+    )

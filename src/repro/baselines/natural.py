@@ -1,0 +1,18 @@
+"""Natural (identity) ordering baseline — Fig. 1's comparison point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ordering import Ordering
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["natural_ordering"]
+
+
+def natural_ordering(A: CSRMatrix) -> Ordering:
+    """The do-nothing ordering (vertices keep their input labels)."""
+    return Ordering(
+        perm=np.arange(A.nrows, dtype=np.int64),
+        algorithm="natural",
+    )

@@ -1,0 +1,149 @@
+"""SpMP-like shared-memory RCM baseline (paper Table II).
+
+SpMP (Park et al.) parallelizes RCM on one node with level-set BFS and
+per-level parallel sorting, following Karantasis et al. [8].  We rebuild
+that algorithm family from scratch:
+
+* the **ordering** is a real level-set RCM whose within-level key is
+  ``(min parent label, degree, id)`` but whose parent attachment is the
+  *first-arrival* one a lock-free shared-memory BFS produces — modeled
+  deterministically by attaching each child to its maximum-label visited
+  neighbor instead of the minimum.  Quality lands close to (sometimes
+  above, sometimes below) the distributed algorithm's, which is the
+  paper's observed relationship in Table II.
+* the **runtime model** charges BFS traversal + sorting work through the
+  machine's intra-node thread model, plus a per-level synchronization
+  latency.  Level synchronization and NUMA effects are what make SpMP
+  lose efficiency at 24 threads on some inputs (paper Section V.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bfs import gather_rows
+from ..core.ordering import Ordering
+from ..core.pseudo_peripheral import find_pseudo_peripheral
+from ..machine.params import MachineParams
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["SpMPResult", "spmp_rcm", "spmp_runtime_model"]
+
+
+@dataclass
+class SpMPResult:
+    """Ordering + modeled shared-memory runtime of the SpMP-like code."""
+
+    ordering: Ordering
+    traversal_ops: int
+    sort_keys: int
+    nlevels: int
+
+    def runtime(self, machine: MachineParams, threads: int) -> float:
+        return spmp_runtime_model(
+            machine, threads, self.traversal_ops, self.sort_keys, self.nlevels
+        )
+
+
+def spmp_runtime_model(
+    machine: MachineParams,
+    threads: int,
+    traversal_ops: int,
+    sort_keys: int,
+    nlevels: int,
+) -> float:
+    """Modeled single-node runtime of level-set RCM at a thread count."""
+    import math
+
+    compute = machine.compute_time(traversal_ops, threads)
+    sort = machine.sort_time(sort_keys, threads)
+    # one barrier per BFS level; a tree barrier costs ~alpha * log2(t)
+    sync = nlevels * machine.alpha * (math.log2(threads) if threads > 1 else 0.0)
+    return compute + sort + sync
+
+
+def _levelset_cm(
+    A: CSRMatrix, root: int, degrees: np.ndarray, labels: np.ndarray, next_label: int
+) -> tuple[int, int, int, int]:
+    """Level-set CM with max-label (first-arrival-like) parent attachment.
+
+    Returns ``(next_label, traversal_ops, sort_keys, nlevels)``.
+    """
+    labels[root] = next_label
+    next_label += 1
+    frontier = np.array([root], dtype=np.int64)
+    traversal_ops = 0
+    sort_keys = 0
+    nlevels = 1
+    while frontier.size:
+        lens = A.indptr[frontier + 1] - A.indptr[frontier]
+        children = gather_rows(A, frontier)
+        traversal_ops += int(children.size)
+        parent_labels = np.repeat(labels[frontier], lens)
+        fresh = labels[children] == -1
+        children, parent_labels = children[fresh], parent_labels[fresh]
+        if children.size == 0:
+            break
+        nlevels += 1
+        # max-label parent: the deterministic stand-in for the racy
+        # first-arrival attachment of a lock-free shared-memory BFS
+        by_child = np.lexsort((-parent_labels, children))
+        children, parent_labels = children[by_child], parent_labels[by_child]
+        first = np.empty(children.size, dtype=bool)
+        first[0] = True
+        np.not_equal(children[1:], children[:-1], out=first[1:])
+        children, parent_labels = children[first], parent_labels[first]
+        order = np.lexsort((children, degrees[children], parent_labels))
+        ordered = children[order]
+        sort_keys += int(ordered.size)
+        labels[ordered] = next_label + np.arange(ordered.size, dtype=np.int64)
+        next_label += ordered.size
+        frontier = ordered
+    return next_label, traversal_ops, sort_keys, nlevels
+
+
+def spmp_rcm(A: CSRMatrix, start: int | None = None) -> SpMPResult:
+    """Compute the SpMP-like shared-memory RCM ordering and its work counts."""
+    if A.nrows != A.ncols:
+        raise ValueError("RCM requires a square (symmetric) matrix")
+    n = A.nrows
+    degrees = A.degrees()
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    traversal_ops = 0
+    sort_keys = 0
+    nlevels_total = 0
+    roots: list[int] = []
+    levels: list[int] = []
+    cursor = 0
+    first = True
+    while next_label < n:
+        while labels[cursor] != -1:
+            cursor += 1
+        seed = start if (first and start is not None) else cursor
+        first = False
+        pp = find_pseudo_peripheral(A, seed, degrees)
+        roots.append(pp.vertex)
+        levels.append(pp.nlevels)
+        next_label, ops, keys, nlv = _levelset_cm(
+            A, pp.vertex, degrees, labels, next_label
+        )
+        # peripheral sweeps cost ~bfs_count traversals of the component
+        traversal_ops += ops * (1 + pp.bfs_count)
+        sort_keys += keys
+        nlevels_total += nlv * (1 + pp.bfs_count)
+    perm = np.argsort(labels, kind="stable").astype(np.int64)[::-1].copy()
+    ordering = Ordering(
+        perm=perm,
+        algorithm="rcm-spmp",
+        roots=roots,
+        levels_per_component=levels,
+    )
+    return SpMPResult(
+        ordering=ordering,
+        traversal_ops=traversal_ops,
+        sort_keys=sort_keys,
+        nlevels=nlevels_total,
+    )

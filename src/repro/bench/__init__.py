@@ -1,0 +1,19 @@
+"""Benchmark harness: experiment registry, sweeps, breakdowns, reporting."""
+
+from .breakdown import RCMBreakdown, breakdown_from_ledger
+from .figures import stacked_bars
+from .harness import EXPERIMENTS
+from .reporting import banner, format_kv, format_table
+from .sweep import ScalePoint, strong_scaling_rcm
+
+__all__ = [
+    "EXPERIMENTS",
+    "stacked_bars",
+    "strong_scaling_rcm",
+    "ScalePoint",
+    "RCMBreakdown",
+    "breakdown_from_ledger",
+    "format_table",
+    "format_kv",
+    "banner",
+]

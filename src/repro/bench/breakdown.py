@@ -1,0 +1,59 @@
+"""Runtime-breakdown extraction for the Fig. 4 / Fig. 5 reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.cost import REGIONS, CostLedger
+
+__all__ = ["RCMBreakdown", "breakdown_from_ledger"]
+
+
+@dataclass(frozen=True)
+class RCMBreakdown:
+    """The paper's five-way runtime split (Fig. 4 legend) plus Fig. 5's
+    computation/communication split of the SpMSpV calls."""
+
+    peripheral_spmspv: float
+    peripheral_other: float
+    ordering_spmspv: float
+    ordering_sort: float
+    ordering_other: float
+    spmspv_compute: float
+    spmspv_comm: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.peripheral_spmspv
+            + self.peripheral_other
+            + self.ordering_spmspv
+            + self.ordering_sort
+            + self.ordering_other
+        )
+
+    def as_row(self) -> list[float]:
+        """Values in the Fig. 4 legend order."""
+        return [
+            self.peripheral_spmspv,
+            self.peripheral_other,
+            self.ordering_spmspv,
+            self.ordering_sort,
+            self.ordering_other,
+        ]
+
+
+def breakdown_from_ledger(ledger: CostLedger) -> RCMBreakdown:
+    """Extract the five named regions and the SpMSpV comm/comp split."""
+    region_totals = {r: ledger.prefix(r).total_seconds for r in REGIONS}
+    spmspv_p = ledger.prefix("peripheral:spmspv")
+    spmspv_o = ledger.prefix("ordering:spmspv")
+    return RCMBreakdown(
+        peripheral_spmspv=region_totals["peripheral:spmspv"],
+        peripheral_other=region_totals["peripheral:other"],
+        ordering_spmspv=region_totals["ordering:spmspv"],
+        ordering_sort=region_totals["ordering:sort"],
+        ordering_other=region_totals["ordering:other"],
+        spmspv_compute=spmspv_p.compute_seconds + spmspv_o.compute_seconds,
+        spmspv_comm=spmspv_p.comm_seconds + spmspv_o.comm_seconds,
+    )

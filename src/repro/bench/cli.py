@@ -1,0 +1,76 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
+
+Examples
+--------
+Run a single experiment::
+
+    repro-bench fig1
+    repro-bench fig4 --quick --matrices nd24k ldoor
+
+Run everything the paper reports::
+
+    repro-bench all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'The Reverse "
+            "Cuthill-McKee Algorithm in Distributed-Memory' (IPDPS 2017) "
+            "on the simulated distributed machine."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="linear mesh-dimension multiplier of the suite surrogates",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="trim the matrix list and core-count axis (CI-speed run)",
+    )
+    parser.add_argument(
+        "--matrices",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="restrict suite experiments to these matrices",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        t0 = time.perf_counter()
+        report = EXPERIMENTS[name](
+            scale=args.scale, quick=args.quick, names=args.matrices
+        )
+        elapsed = time.perf_counter() - t0
+        print(report)
+        print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

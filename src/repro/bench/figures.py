@@ -1,0 +1,67 @@
+"""ASCII figure rendering: stacked bars for the Fig. 4-style breakdowns.
+
+The paper's Fig. 4 is a stacked bar chart per matrix (one bar per core
+count, five stacked segments).  This renders the same visual in plain
+text so the harness reports read like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["stacked_bars", "LEGEND_GLYPHS"]
+
+#: One glyph per stack segment, in Fig. 4 legend order.
+LEGEND_GLYPHS = ("P", "p", "S", "#", ".")
+
+
+def stacked_bars(
+    labels: Sequence[object],
+    stacks: Sequence[Sequence[float]],
+    segment_names: Sequence[str],
+    *,
+    width: int = 60,
+    glyphs: Sequence[str] = LEGEND_GLYPHS,
+) -> str:
+    """Render horizontal stacked bars.
+
+    Parameters
+    ----------
+    labels:
+        One row label per bar (e.g. core counts).
+    stacks:
+        Per bar, the segment values (same length as ``segment_names``).
+    segment_names:
+        Legend names, matched positionally with ``glyphs``.
+    width:
+        Character width of the longest bar; other bars scale linearly.
+    """
+    if len(labels) != len(stacks):
+        raise ValueError("one stack per label required")
+    nseg = len(segment_names)
+    if any(len(s) != nseg for s in stacks):
+        raise ValueError("every stack needs one value per segment")
+    if nseg > len(glyphs):
+        raise ValueError("not enough glyphs for the segments")
+    totals = [sum(s) for s in stacks]
+    peak = max(totals, default=0.0)
+    if peak <= 0:
+        peak = 1.0
+
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = []
+    for label, stack, total in zip(labels, stacks, totals):
+        cells = []
+        # proportional segment widths, at least 1 cell for nonzero segments
+        for value, glyph in zip(stack, glyphs):
+            w = int(round(value / peak * width))
+            if value > 0 and w == 0:
+                w = 1
+            cells.append(glyph * w)
+        bar = "".join(cells)
+        lines.append(f"{str(label).rjust(label_w)} |{bar}  {total:.3g}s")
+    legend = "  ".join(
+        f"{g}={name}" for g, name in zip(glyphs, segment_names)
+    )
+    lines.append(f"{' ' * label_w} legend: {legend}")
+    return "\n".join(lines)

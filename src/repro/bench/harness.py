@@ -1,0 +1,630 @@
+"""Experiment harness: one function per paper table/figure.
+
+Every experiment returns a plain-text report that prints the same rows
+or series the paper shows (see DESIGN.md's per-experiment index).  All
+experiments accept a ``scale`` knob (linear mesh-dimension multiplier of
+the suite surrogates) and a ``quick`` flag that trims the core-count
+axis for CI-speed runs.
+
+EXPERIMENTS.md records the expectations each report is checked against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.gather_rcm import gather_then_rcm
+from ..baselines.natural import natural_ordering
+from ..baselines.spmp import spmp_rcm
+from ..core.metrics import bandwidth, bandwidth_of_permutation
+from ..core.rcm_serial import rcm_serial
+from ..distributed.context import DistContext
+from ..distributed.distmatrix import DistSparseMatrix
+from ..distributed.rcm import rcm_distributed
+from ..machine.grid import ProcessGrid
+from ..machine.params import MachineParams, edison
+from ..machine.threading_model import hybrid_configs_for_cores, paper_core_counts
+from ..matrices.suite import PAPER_SUITE, build_suite, thermal2_like
+from ..solvers.solve_model import model_cg_solve
+from .reporting import banner, format_table
+from .sweep import strong_scaling_rcm
+
+__all__ = [
+    "run_fig1",
+    "run_fig3",
+    "run_table2",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_gather",
+    "run_sort_ablation",
+    "run_csc_ablation",
+    "run_balance_ablation",
+    "run_semiring_ablation",
+    "run_skyline",
+    "run_quality",
+    "EXPERIMENTS",
+]
+
+
+def _calibrated_machine(name: str, A) -> "MachineParams":
+    """Edison-like machine with comm constants scaled to the surrogate size.
+
+    See :meth:`repro.machine.params.MachineParams.scaled`: preserves the
+    paper's communication/computation balance for the ~1/500-scale
+    surrogate matrices, so scaling-curve shapes match the paper's at the
+    paper's own core counts.
+    """
+    paper_nnz = PAPER_SUITE[name].paper.nnz
+    return edison().scaled(A.nnz / paper_nnz)
+
+#: Matrices small enough for the full scaling sweep in quick mode.
+_QUICK_MATRICES = ["nd24k", "ldoor", "serena", "flan_1565"]
+
+
+def _suite_names(quick: bool, names: list[str] | None) -> list[str]:
+    if names:
+        return names
+    return _QUICK_MATRICES if quick else list(PAPER_SUITE)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — CG + block Jacobi, natural vs RCM ordering
+# ----------------------------------------------------------------------
+def run_fig1(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    A = thermal2_like(scale * (0.6 if quick else 1.0))
+    rcm = rcm_serial(A)
+    nat = natural_ordering(A)
+    core_axis = [1, 4, 16, 64] if quick else [1, 4, 16, 64, 256]
+    rows = []
+    for cores in core_axis:
+        pn = model_cg_solve(A, nat, cores, tol=1e-6)
+        pr = model_cg_solve(A, rcm, cores, tol=1e-6)
+        rows.append(
+            [
+                cores,
+                pn.iterations,
+                pn.total_seconds,
+                pr.iterations,
+                pr.total_seconds,
+                pn.total_seconds / max(pr.total_seconds, 1e-300),
+            ]
+        )
+    q = rcm.quality(A)
+    head = banner(
+        "Fig. 1 — CG/block-Jacobi solve time, natural vs RCM ordering "
+        f"(thermal2 surrogate: n={A.nrows}, nnz={A.nnz}, "
+        f"bw {q.bw_before} -> {q.bw_after}; paper: 1,226,000 -> 795)"
+    )
+    table = format_table(
+        ["cores", "nat iters", "nat seconds", "rcm iters", "rcm seconds", "rcm speedup"],
+        rows,
+    )
+    note = (
+        "Expected shape (paper): RCM is never slower, and its advantage "
+        "grows with core count."
+    )
+    return "\n".join([head, table, note])
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — matrix suite structural table
+# ----------------------------------------------------------------------
+def run_fig3(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    rows = []
+    for name in _suite_names(quick, names):
+        entry = PAPER_SUITE[name]
+        A = entry.build(scale)
+        o = rcm_serial(A)
+        q = o.quality(A)
+        rows.append(
+            [
+                name,
+                A.nrows,
+                A.nnz,
+                q.bw_before,
+                q.bw_after,
+                o.pseudo_diameter(),
+                f"{q.bw_reduction:.1f}x",
+                f"{entry.paper.bw_pre / entry.paper.bw_post:.1f}x",
+                entry.paper.pseudo_diameter,
+            ]
+        )
+    head = banner("Fig. 3 — suite structural info (surrogates vs paper)")
+    table = format_table(
+        [
+            "matrix",
+            "n",
+            "nnz",
+            "bw pre",
+            "bw post",
+            "pseudo-diam",
+            "bw ratio",
+            "paper ratio",
+            "paper pd",
+        ],
+        rows,
+    )
+    return "\n".join([head, table])
+
+
+# ----------------------------------------------------------------------
+# Table II — shared-memory SpMP vs distributed RCM on one node
+# ----------------------------------------------------------------------
+def run_table2(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        machine = _calibrated_machine(name, A)
+        sp = spmp_rcm(A)
+        sp_bw = bandwidth_of_permutation(A, sp.ordering.perm)
+        ours = rcm_serial(A)
+        our_bw = bandwidth_of_permutation(A, ours.perm)
+        sp_times = [sp.runtime(machine, t) for t in (1, 6, 24)]
+        dist_times = []
+        for cores in (1, 6, 24):
+            cfg = hybrid_configs_for_cores(cores, threads_per_process=6)
+            ctx = DistContext(cfg.grid, machine.with_threads(cfg.threads_per_process))
+            res = rcm_distributed(A, ctx=ctx, random_permute=0)
+            dist_times.append(res.modeled_seconds)
+        rows.append([name, sp_bw, our_bw] + sp_times + dist_times)
+    head = banner(
+        "Table II — SpMP-like shared-memory RCM vs distributed RCM "
+        "(single node; modeled seconds)"
+    )
+    table = format_table(
+        [
+            "matrix",
+            "SpMP bw",
+            "our bw",
+            "SpMP 1t",
+            "SpMP 6t",
+            "SpMP 24t",
+            "dist 1c",
+            "dist 6c",
+            "dist 24c",
+        ],
+        rows,
+    )
+    note = (
+        "Expected shape (paper): SpMP is faster on one node (no "
+        "distribution overhead); bandwidth quality is comparable either way."
+    )
+    return "\n".join([head, table, note])
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — strong scaling with runtime breakdown
+# ----------------------------------------------------------------------
+def _scaling_cores(quick: bool) -> list[int]:
+    return [1, 6, 24, 54] if quick else paper_core_counts(1014)
+
+
+def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    sections = [banner("Fig. 4 — distributed RCM strong scaling, runtime breakdown")]
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        cores = _scaling_cores(quick)
+        if name in ("nm7", "nlpkkt240") and not quick:
+            cores = [c for c in paper_core_counts(4056) if c >= 54]
+        points = strong_scaling_rcm(A, cores, machine=_calibrated_machine(name, A))
+        base = points[0]
+        rows = []
+        for p in points:
+            b = p.breakdown
+            rows.append(
+                [
+                    p.cores,
+                    b.peripheral_spmspv,
+                    b.peripheral_other,
+                    b.ordering_spmspv,
+                    b.ordering_sort,
+                    b.ordering_other,
+                    b.total,
+                    f"{p.speedup_vs(base):.1f}x",
+                ]
+            )
+        sections.append(
+            format_table(
+                [
+                    "cores",
+                    "periph spmspv",
+                    "periph other",
+                    "order spmspv",
+                    "order sort",
+                    "order other",
+                    "total s",
+                    "speedup",
+                ],
+                rows,
+                title=f"[{name}] n={A.nrows} nnz={A.nnz}",
+            )
+        )
+        from .figures import stacked_bars
+
+        sections.append(
+            stacked_bars(
+                [p.cores for p in points],
+                [p.breakdown.as_row() for p in points],
+                [
+                    "peripheral spmspv",
+                    "peripheral other",
+                    "ordering spmspv",
+                    "ordering sort",
+                    "ordering other",
+                ],
+            )
+        )
+    sections.append(
+        "Expected shape (paper): scales to ~1K cores; SpMSpV dominates at low "
+        "concurrency, SORTPERM's alltoall latency grows at high concurrency; "
+        "low-diameter matrices scale best."
+    )
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — SpMSpV computation vs communication
+# ----------------------------------------------------------------------
+def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    sections = [banner("Fig. 5 — SpMSpV computation vs communication split")]
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        cores = [c for c in _scaling_cores(quick) if c >= 6]
+        points = strong_scaling_rcm(A, cores, machine=_calibrated_machine(name, A))
+        rows = []
+        crossover = None
+        for p in points:
+            b = p.breakdown
+            if crossover is None and b.spmspv_comm > b.spmspv_compute:
+                crossover = p.cores
+            rows.append([p.cores, b.spmspv_compute, b.spmspv_comm])
+        rows_title = f"[{name}]"
+        if crossover is not None:
+            rows_title += f" comm overtakes compute at ~{crossover} cores"
+        sections.append(
+            format_table(["cores", "computation s", "communication s"], rows, title=rows_title)
+        )
+    sections.append(
+        "Expected shape (paper): compute-bound at low concurrency; "
+        "communication overtakes earlier for high-diameter matrices."
+    )
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — flat MPI vs hybrid for ldoor
+# ----------------------------------------------------------------------
+def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    A = PAPER_SUITE["ldoor"].build(scale)
+    # flat MPI at 4096 cores means 4096 simulated ranks; the SPMD loop
+    # makes that hours of Python, so the axis stops at 256 (the trend is
+    # established well before: the flat/hybrid gap grows monotonically)
+    cores = [1, 4, 16, 64] if quick else [1, 4, 16, 64, 256]
+    machine = _calibrated_machine("ldoor", A)
+    flat = strong_scaling_rcm(A, cores, threads_per_process=1, machine=machine)
+    hybrid = strong_scaling_rcm(A, cores, threads_per_process=6, machine=machine)
+    rows = []
+    for f, h in zip(flat, hybrid):
+        rows.append(
+            [
+                f.cores,
+                f.total_seconds,
+                h.total_seconds,
+                f"{f.total_seconds / max(h.total_seconds, 1e-300):.1f}x",
+            ]
+        )
+    head = banner("Fig. 6 — flat MPI vs hybrid (6 threads/process), ldoor surrogate")
+    table = format_table(
+        ["cores", "flat MPI s", "hybrid s", "flat/hybrid"], rows
+    )
+    note = (
+        "Expected shape (paper): flat MPI degrades at high core counts "
+        "(~5x slower at 4096 cores) because sqrt(p) grows 2.4x and the "
+        "alltoall latency term grows with it."
+    )
+    return "\n".join([head, table, note])
+
+
+# ----------------------------------------------------------------------
+# Section V.C — gather-to-root baseline
+# ----------------------------------------------------------------------
+def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    name = "nlpkkt240"
+    A = PAPER_SUITE[name].build(scale)
+    cores = 64 if quick else 1024
+    cfg = hybrid_configs_for_cores(cores, threads_per_process=6)
+    machine = _calibrated_machine(name, A).with_threads(cfg.threads_per_process)
+    ctx = DistContext(cfg.grid, machine)
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    g = gather_then_rcm(dA)
+    ctx2 = DistContext(cfg.grid, machine)
+    dist = rcm_distributed(A, ctx=ctx2, random_permute=0)
+    rows = [
+        ["gather matrix to root", g.gather_seconds],
+        ["shared-memory RCM at root", g.order_seconds],
+        ["scatter permutation", g.scatter_seconds],
+        ["gather pipeline total", g.total_seconds],
+        ["distributed RCM total", dist.modeled_seconds],
+        ["pipeline / distributed", g.total_seconds / max(dist.modeled_seconds, 1e-300)],
+    ]
+    head = banner(
+        f"Section V.C — gather baseline vs distributed RCM "
+        f"({name} surrogate, {cores} cores)"
+    )
+    table = format_table(["phase", "seconds (surrogate scale)"], rows)
+
+    # analytic check at the paper's own scale: shipping nlpkkt240's
+    # structure (n = 78M, nnz = 760M) into one node on the unscaled
+    # Edison machine -- the paper measured "over 9 seconds"
+    from ..distributed.gather import matrix_wire_words
+
+    paper = PAPER_SUITE[name].paper
+    unscaled = edison()
+    words = matrix_wire_words(paper.n, paper.nnz)
+    engine_cost = (
+        unscaled.alpha * (1024 - 1) + unscaled.beta_node * words
+    )
+    extra = format_table(
+        ["quantity", "value"],
+        [
+            ["paper-scale gather volume (words)", words],
+            ["modeled paper-scale gather seconds", engine_cost],
+            ["paper-reported gather seconds", "over 9"],
+            ["paper-reported ratio vs distributed RCM", "~3x"],
+        ],
+        title="Paper-scale analytic check (unscaled Edison constants):",
+    )
+    note = (
+        "Expected shape (paper): the gather step alone costs a multiple of "
+        "distributed RCM at scale, and the whole gather pipeline loses; the "
+        "paper-scale analytic line validates the machine model against the "
+        "paper's measured 9 s."
+    )
+    return "\n".join([head, table, extra, note])
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md Section 5)
+# ----------------------------------------------------------------------
+def run_sort_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        cores = 54 if quick else 216
+        cfg = hybrid_configs_for_cores(cores, 6)
+        machine = _calibrated_machine(name, A).with_threads(cfg.threads_per_process)
+        res_b = rcm_distributed(
+            A, ctx=DistContext(cfg.grid, machine), random_permute=0, sort_impl="bucket"
+        )
+        res_s = rcm_distributed(
+            A, ctx=DistContext(cfg.grid, machine), random_permute=0, sort_impl="sample"
+        )
+        res_n = rcm_distributed(
+            A, ctx=DistContext(cfg.grid, machine), random_permute=0, sort_impl="none"
+        )
+        same = bool(np.array_equal(res_b.ordering.perm, res_s.ordering.perm))
+        tb = res_b.ledger.prefix("ordering:sort").total_seconds
+        ts = res_s.ledger.prefix("ordering:sort").total_seconds
+        tn = res_n.ledger.prefix("ordering:sort").total_seconds
+        bw_sorted = bandwidth_of_permutation(A, res_b.ordering.perm)
+        bw_nosort = bandwidth_of_permutation(A, res_n.ordering.perm)
+        rows.append(
+            [name, tb, ts, f"{ts / max(tb, 1e-300):.2f}x", same, tn, bw_sorted, bw_nosort]
+        )
+    head = banner(
+        "Ablation — SORTPERM implementations: specialized bucket sort vs "
+        "general samplesort vs no sorting (paper Section IV.B + future work)"
+    )
+    table = format_table(
+        [
+            "matrix",
+            "bucket s",
+            "samplesort s",
+            "sample/bucket",
+            "same ordering",
+            "no-sort s",
+            "bw sorted",
+            "bw no-sort",
+        ],
+        rows,
+    )
+    note = (
+        "Expected shape (paper Section IV.B): the specialized bucket sort "
+        "beats general sorting; orderings are identical.  The no-sort "
+        "variant (paper future work) is cheaper still but gives up some "
+        "bandwidth quality."
+    )
+    return "\n".join([head, table, note])
+
+
+def run_csc_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    """CSC vs CSR SpMSpV kernels: measured wall time on real frontiers."""
+    from ..core.bfs import bfs_levels, level_sets
+    from ..semiring.semiring import SELECT2ND_MIN
+    from ..semiring.spmspv import spmspv_csc, spmspv_csr
+    from ..sparse.csc import CSCMatrix
+    from ..sparse.spvector import SparseVector
+
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        Ac = CSCMatrix(A.nrows, A.ncols, A.indptr, A.indices, A.data)
+        levels, _ = bfs_levels(A, 0)
+        t_csc = t_csr = 0.0
+        for frontier in level_sets(levels):
+            x = SparseVector(A.nrows, frontier, frontier.astype(np.float64))
+            t0 = time.perf_counter()
+            y1 = spmspv_csc(Ac, x, SELECT2ND_MIN)
+            t1 = time.perf_counter()
+            y2 = spmspv_csr(A, x, SELECT2ND_MIN)
+            t2 = time.perf_counter()
+            t_csc += t1 - t0
+            t_csr += t2 - t1
+            assert y1 == y2
+        rows.append([name, t_csc, t_csr, f"{t_csr / max(t_csc, 1e-300):.2f}x"])
+    head = banner("Ablation — CSC vs CSR local SpMSpV kernel (measured wall time)")
+    table = format_table(["matrix", "CSC s", "CSR s", "CSR/CSC"], rows)
+    note = (
+        "Expected shape (paper Section IV.A): CSC wins for very sparse "
+        "frontiers because it touches only the frontier's columns."
+    )
+    return "\n".join([head, table, note])
+
+
+def run_balance_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    """Random input permutation on/off: 2D block load balance."""
+    from ..sparse.permute import random_symmetric_permutation
+
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        cores = 54 if quick else 216
+        cfg = hybrid_configs_for_cores(cores, 6)
+        ctx = DistContext(cfg.grid, edison().with_threads(cfg.threads_per_process))
+        imb_nat = DistSparseMatrix.from_csr(ctx, A).load_imbalance()
+        Ap, _ = random_symmetric_permutation(A, 0)
+        imb_rand = DistSparseMatrix.from_csr(ctx, Ap).load_imbalance()
+        rows.append([name, f"{imb_nat:.2f}", f"{imb_rand:.2f}"])
+    head = banner(
+        "Ablation — random symmetric permutation for load balance "
+        "(max/mean nnz per rank; 1.0 = perfect)"
+    )
+    table = format_table(["matrix", "natural order", "random permuted"], rows)
+    note = (
+        "Expected shape (paper Section IV.A): banded/natural orders "
+        "concentrate nnz near the diagonal blocks; random permutation "
+        "flattens the imbalance toward 1."
+    )
+    return "\n".join([head, table, note])
+
+
+def run_semiring_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    """(select2nd, min) vs (select2nd, max): determinism/quality effect."""
+    from ..semiring.semiring import SELECT2ND_MAX
+
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        o_min = rcm_serial(A)
+        from ..core.rcm_algebraic import rcm_algebraic
+
+        o_max = rcm_algebraic(A, sr=SELECT2ND_MAX)
+        rows.append(
+            [
+                name,
+                bandwidth_of_permutation(A, o_min.perm),
+                bandwidth_of_permutation(A, o_max.perm),
+            ]
+        )
+    head = banner(
+        "Ablation — parent-selection semiring: (select2nd, min) vs "
+        "(select2nd, max) bandwidth"
+    )
+    table = format_table(["matrix", "bw (min parent)", "bw (max parent)"], rows)
+    note = (
+        "The min-parent rule is the paper's deterministic choice; other "
+        "rules give valid but usually slightly different/worse orderings "
+        "(relevant to the paper's 'not sorting at all' future work)."
+    )
+    return "\n".join([head, table, note])
+
+
+
+def run_quality(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    """Extension — ordering-quality comparison across all baselines."""
+    from ..baselines.gps import gps_ordering
+    from ..baselines.scipy_rcm import scipy_rcm
+    from ..baselines.sloan import sloan_ordering
+    from ..core.metrics import profile_of_permutation
+    from ..core.rcm_algebraic import rcm_algebraic
+
+    rows = []
+    for name in _suite_names(quick, names):
+        A = PAPER_SUITE[name].build(scale)
+        candidates = {
+            "natural": natural_ordering(A).perm,
+            "RCM (ours)": rcm_serial(A).perm,
+            "RCM (scipy)": scipy_rcm(A).perm,
+            "SpMP-like": spmp_rcm(A).ordering.perm,
+            "no-sort": rcm_algebraic(A, sorted_levels=False).perm,
+            "Sloan": sloan_ordering(A).perm,
+            "GPS": gps_ordering(A).perm,
+        }
+        for label, perm in candidates.items():
+            rows.append(
+                [
+                    name,
+                    label,
+                    bandwidth_of_permutation(A, perm),
+                    profile_of_permutation(A, perm),
+                ]
+            )
+    head = banner("Extension — bandwidth/profile across ordering algorithms")
+    table = format_table(["matrix", "algorithm", "bandwidth", "profile"], rows)
+    note = (
+        "Expected shape: all RCM variants land close together; Sloan/GPS "
+        "are competitive on profile; natural order is far worse on the "
+        "scrambled matrices and unbeatable on the pre-banded ones."
+    )
+    return "\n".join([head, table, note])
+
+
+def run_skyline(scale: float = 1.0, quick: bool = False, names=None) -> str:
+    """Extension — envelope Cholesky storage/flops under each ordering.
+
+    Reproduces the paper's *motivating* claim (Introduction: profile
+    reduction enables the simple skyline data structure in direct
+    methods) with a real envelope factorization.
+    """
+    import numpy as np
+
+    from ..baselines.sloan import sloan_ordering
+    from ..solvers.skyline import SkylineCholesky
+    from ..solvers.solve_model import laplacian_like_values
+    from ..sparse.permute import permute_symmetric, random_symmetric_permutation
+    from ..matrices.stencil import stencil_2d
+
+    side = int(18 * scale) if quick else int(24 * scale)
+    A, _ = random_symmetric_permutation(stencil_2d(side, side), seed=11)
+    orderings = {
+        "scrambled input": np.arange(A.nrows, dtype=np.int64),
+        "RCM": rcm_serial(A).perm,
+        "Sloan": sloan_ordering(A).perm,
+    }
+    rows = []
+    for label, perm in orderings.items():
+        spd = laplacian_like_values(permute_symmetric(A, perm))
+        chol = SkylineCholesky(spd)
+        rows.append([label, chol.storage, chol.flops])
+    head = banner(
+        f"Extension — envelope (skyline) Cholesky cost by ordering "
+        f"(scrambled {side}x{side} mesh Laplacian)"
+    )
+    table = format_table(["ordering", "factor storage", "factor flops"], rows)
+    note = (
+        "Expected shape (paper Introduction): profile reduction collapses "
+        "skyline storage and factorization work by orders of magnitude."
+    )
+    return "\n".join([head, table, note])
+
+
+#: Experiment registry for the CLI.
+EXPERIMENTS: dict[str, Callable[..., str]] = {
+    "fig1": run_fig1,
+    "fig3": run_fig3,
+    "table2": run_table2,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "gather": run_gather,
+    "sort-ablation": run_sort_ablation,
+    "csc-ablation": run_csc_ablation,
+    "balance-ablation": run_balance_ablation,
+    "semiring-ablation": run_semiring_ablation,
+    "skyline": run_skyline,
+    "quality": run_quality,
+}

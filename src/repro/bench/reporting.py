@@ -1,0 +1,58 @@
+"""Plain-text reporting: aligned tables and series for paper figures.
+
+The benchmark harness prints every reproduced table/figure as text so
+results live in the terminal and in ``bench_output.txt`` — no plotting
+dependency.  A figure becomes a table with one row per x-axis point and
+one column per series (plus stacked-breakdown columns for Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_kv", "banner"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render key/value pairs, one per line."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines += [f"{k.ljust(width)} : {_fmt_cell(v)}" for k, v in pairs.items()]
+    return "\n".join(lines)
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(len(text), 10)
+    return f"{bar}\n{text}\n{bar}"

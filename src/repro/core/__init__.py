@@ -1,0 +1,71 @@
+"""The paper's primary contribution: RCM ordering, serial and algebraic.
+
+Modules
+-------
+``bfs``
+    Vectorized breadth-first search utilities (level structures).
+``metrics``
+    Bandwidth, profile/envelope, pseudo-diameter (paper Section II.A).
+``ordering``
+    The :class:`Ordering` result type.
+``components``
+    Connected components (multi-component RCM driver support).
+``pseudo_peripheral``
+    George-Liu pseudo-peripheral vertex finder (Algorithms 2/4).
+``primitives``
+    Serial reference semantics of the Table I primitives.
+``rcm_serial``
+    Classic Algorithm 1 (queue and vectorized level forms).
+``rcm_algebraic``
+    Algorithms 3 + 4 transcribed against the primitives.
+"""
+
+from .bfs import bfs_levels, bfs_parents, gather_rows, level_sets
+from .level_structure import RootedLevelStructure, rooted_level_structure
+from .components import component_members, connected_components, is_connected
+from .metrics import (
+    OrderingQuality,
+    bandwidth,
+    bandwidth_of_permutation,
+    envelope_size,
+    profile,
+    profile_of_permutation,
+    quality_of,
+    row_bandwidths,
+)
+from .ordering import Ordering
+from .validation import CMValidationReport, validate_cm_structure
+from .pseudo_peripheral import PseudoPeripheralResult, find_pseudo_peripheral
+from .rcm_algebraic import pseudo_peripheral_algebraic, rcm_algebraic, rcm_order_component
+from .rcm_serial import cm_serial, cuthill_mckee_queue, rcm_serial
+
+__all__ = [
+    "bfs_levels",
+    "bfs_parents",
+    "gather_rows",
+    "level_sets",
+    "connected_components",
+    "component_members",
+    "is_connected",
+    "bandwidth",
+    "bandwidth_of_permutation",
+    "profile",
+    "profile_of_permutation",
+    "envelope_size",
+    "row_bandwidths",
+    "quality_of",
+    "OrderingQuality",
+    "Ordering",
+    "RootedLevelStructure",
+    "rooted_level_structure",
+    "CMValidationReport",
+    "validate_cm_structure",
+    "PseudoPeripheralResult",
+    "find_pseudo_peripheral",
+    "rcm_serial",
+    "cm_serial",
+    "cuthill_mckee_queue",
+    "rcm_algebraic",
+    "rcm_order_component",
+    "pseudo_peripheral_algebraic",
+]

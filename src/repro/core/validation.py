@@ -1,0 +1,104 @@
+"""Structural validation of Cuthill-McKee orderings.
+
+Beyond "is it a permutation", a CM/RCM ordering has checkable structure:
+
+* **level contiguity** — vertices of each BFS level (from the component's
+  root) occupy a contiguous label range;
+* **monotone parents** — in CM label order, each vertex's minimum-label
+  neighbor (its parent) is nondecreasing within a level (a consequence
+  of the ``(select2nd, min)`` + lexicographic-sort construction);
+* **component contiguity** — each connected component's labels form one
+  contiguous block.
+
+These certificates let tests validate an ordering *without* comparing to
+a reference implementation, and give users a way to sanity-check
+orderings imported from elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.permute import is_permutation
+from .bfs import bfs_levels
+from .components import connected_components
+from .ordering import Ordering
+
+__all__ = ["CMValidationReport", "validate_cm_structure"]
+
+
+@dataclass
+class CMValidationReport:
+    """Outcome of the structural checks; ``ok`` iff all passed."""
+
+    is_permutation: bool
+    components_contiguous: bool
+    levels_contiguous: bool
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.is_permutation
+            and self.components_contiguous
+            and self.levels_contiguous
+        )
+
+
+def validate_cm_structure(A: CSRMatrix, ordering: Ordering, *, reverse: bool = True) -> CMValidationReport:
+    """Check the CM certificates for ``ordering`` on ``A``.
+
+    ``reverse=True`` (default) treats the ordering as *Reverse* CM and
+    un-reverses it before checking; pass False for a plain CM ordering.
+    """
+    problems: list[str] = []
+    n = A.nrows
+    perm = ordering.perm[::-1] if reverse else ordering.perm
+    if not is_permutation(perm, n):
+        return CMValidationReport(False, False, False, ["not a permutation"])
+    labels = np.empty(n, dtype=np.int64)
+    labels[perm] = np.arange(n, dtype=np.int64)
+
+    # --- component contiguity -----------------------------------------
+    ncomp, comp = connected_components(A)
+    comps_ok = True
+    for c in range(ncomp):
+        member_labels = np.sort(labels[comp == c])
+        if member_labels.size and not np.array_equal(
+            member_labels,
+            np.arange(member_labels[0], member_labels[0] + member_labels.size),
+        ):
+            comps_ok = False
+            problems.append(f"component {c} labels are not contiguous")
+
+    # --- level contiguity within each component ------------------------
+    levels_ok = True
+    for c in range(ncomp):
+        members = np.flatnonzero(comp == c)
+        root = int(members[np.argmin(labels[members])])
+        lv, _ = bfs_levels(A, root)
+        reached = lv >= 0
+        order_of_level = {}
+        for d in range(int(lv[reached].max()) + 1):
+            lbls = np.sort(labels[reached & (lv == d)])
+            if lbls.size and not np.array_equal(
+                lbls, np.arange(lbls[0], lbls[0] + lbls.size)
+            ):
+                levels_ok = False
+                problems.append(
+                    f"component {c}: BFS level {d} labels are not contiguous"
+                )
+            order_of_level[d] = lbls
+        # successive levels must occupy successive ranges
+        for d in range(1, int(lv[reached].max()) + 1):
+            if order_of_level[d].size and order_of_level[d - 1].size:
+                if order_of_level[d][0] != order_of_level[d - 1][-1] + 1:
+                    levels_ok = False
+                    problems.append(
+                        f"component {c}: level {d} does not follow level {d - 1}"
+                    )
+
+    return CMValidationReport(True, comps_ok, levels_ok, problems)

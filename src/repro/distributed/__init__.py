@@ -1,0 +1,57 @@
+"""CombBLAS-style distributed layer on the simulated machine.
+
+Implements the 2D-distributed sparse matrix/vector containers, the
+Table I primitives, the distributed SpMSpV and bucket-sort SORTPERM,
+and the distributed RCM driver (Algorithms 3 + 4).
+"""
+
+from .bfs import DistBFSResult, dist_bfs
+from .context import DistContext
+from .distmatrix import DistSparseMatrix
+from .distvector import DistDenseVector, DistSparseVector
+from .permute import permute_distributed
+from .gather import gather_matrix_to_root, matrix_wire_words, scatter_permutation
+from .primitives import (
+    d_fill_values,
+    d_first_index_where,
+    d_nnz,
+    d_read_dense,
+    d_reduce_argmin,
+    d_select,
+    d_set_dense,
+)
+from .rcm import DistRCMResult, distributed_pseudo_peripheral, rcm_distributed
+from .samplesort import d_sortperm_samplesort
+from .sortperm import bucket_of_labels, d_sortperm
+from .spmspv import dist_spmspv
+from .spmv import DistCGResult, dist_cg, dist_spmv_dense
+
+__all__ = [
+    "DistContext",
+    "dist_bfs",
+    "DistBFSResult",
+    "DistSparseMatrix",
+    "DistDenseVector",
+    "DistSparseVector",
+    "dist_spmspv",
+    "dist_spmv_dense",
+    "dist_cg",
+    "DistCGResult",
+    "d_sortperm",
+    "d_sortperm_samplesort",
+    "bucket_of_labels",
+    "d_select",
+    "d_read_dense",
+    "d_set_dense",
+    "d_fill_values",
+    "d_reduce_argmin",
+    "d_nnz",
+    "d_first_index_where",
+    "rcm_distributed",
+    "DistRCMResult",
+    "distributed_pseudo_peripheral",
+    "gather_matrix_to_root",
+    "permute_distributed",
+    "scatter_permutation",
+    "matrix_wire_words",
+]

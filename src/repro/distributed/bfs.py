@@ -1,0 +1,85 @@
+"""Standalone distributed BFS on the 2D grid.
+
+The level-synchronous BFS inside Algorithms 3/4 is useful on its own
+(it is the paper's basic building block, inherited from Buluç & Madduri's
+distributed BFS work [14]); this module exposes it as a first-class API:
+one ``dist_bfs`` call returns the level of every vertex plus, optionally,
+the ``(select2nd, min)`` parent of every vertex — against which the
+serial oracles in :mod:`repro.core.bfs` are tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..semiring.semiring import SELECT2ND_MIN, Semiring
+from .distmatrix import DistSparseMatrix
+from .distvector import DistDenseVector, DistSparseVector
+from .primitives import d_fill_values, d_nnz, d_read_dense, d_select, d_set_dense
+from .spmspv import dist_spmspv
+
+__all__ = ["DistBFSResult", "dist_bfs"]
+
+
+@dataclass
+class DistBFSResult:
+    """Levels (and optionally parents) of a distributed BFS."""
+
+    levels: np.ndarray
+    parents: np.ndarray | None
+    nlevels: int
+    spmspv_calls: int
+
+
+def dist_bfs(
+    A: DistSparseMatrix,
+    root: int,
+    *,
+    compute_parents: bool = False,
+    sr: Semiring = SELECT2ND_MIN,
+    region: str = "bfs",
+) -> DistBFSResult:
+    """Level-synchronous BFS from ``root`` on the distributed matrix.
+
+    With ``compute_parents=True`` the frontier payloads carry vertex ids,
+    so the ``(select2nd, min)`` semiring records each vertex's
+    minimum-id parent — matching
+    :func:`repro.core.bfs.bfs_parents` exactly.
+    """
+    ctx = A.ctx
+    n = A.n
+    if not (0 <= root < n):
+        raise ValueError("root out of range")
+    L = DistDenseVector.full(ctx, n, -1.0)
+    P = DistDenseVector.full(ctx, n, -1.0) if compute_parents else None
+    L.set(root, 0.0)
+    frontier = DistSparseVector.single(ctx, n, root, float(root))
+    depth = 0
+    calls = 0
+    while True:
+        nxt = dist_spmspv(A, frontier, sr, f"{region}:spmspv")
+        calls += 1
+        nxt = d_select(nxt, L, lambda vals: vals == -1.0, f"{region}:other")
+        if d_nnz(nxt, f"{region}:other") == 0:
+            break
+        depth += 1
+        d_set_dense(L, d_fill_values(nxt, float(depth)), f"{region}:other")
+        if compute_parents:
+            d_set_dense(P, nxt, f"{region}:other")  # payload = min parent id
+            # the next frontier's payloads must carry its own vertex ids
+            frontier = DistSparseVector(
+                ctx,
+                n,
+                [i.copy() for i in nxt.indices],
+                [i.astype(np.float64) for i in nxt.indices],
+            )
+        else:
+            frontier = nxt
+    return DistBFSResult(
+        levels=L.to_global().astype(np.int64),
+        parents=P.to_global().astype(np.int64) if P is not None else None,
+        nlevels=depth + 1,
+        spmspv_calls=calls,
+    )

@@ -1,0 +1,165 @@
+"""Distributed dense and sparse vectors (CombBLAS layout).
+
+A length-``n`` vector is split into ``p`` contiguous segments; segment
+``k`` is owned by rank ``k``.  Because ranks are row-major on the grid,
+the union of the segments owned by processor row ``i`` is exactly matrix
+row block ``i`` — the property that makes the 2D SpMSpV's row-wise
+exchange purely intra-row (see :mod:`repro.distributed.spmspv`).
+
+Sparse segments store *global* indices (sorted ascending, unique within
+and across segments by construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.spvector import SparseVector
+from .context import DistContext
+
+__all__ = ["DistDenseVector", "DistSparseVector"]
+
+
+class DistDenseVector:
+    """A dense vector distributed in ``p`` contiguous segments."""
+
+    __slots__ = ("ctx", "n", "segments")
+
+    def __init__(self, ctx: DistContext, n: int, segments: list[np.ndarray]) -> None:
+        self.ctx = ctx
+        self.n = int(n)
+        if len(segments) != ctx.nprocs:
+            raise ValueError("need one segment per rank")
+        offs = ctx.grid.vector_offsets(n)
+        for k, seg in enumerate(segments):
+            if seg.shape[0] != offs[k + 1] - offs[k]:
+                raise ValueError(f"segment {k} has wrong length")
+        self.segments = segments
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, ctx: DistContext, values: np.ndarray) -> "DistDenseVector":
+        values = np.asarray(values, dtype=np.float64)
+        offs = ctx.grid.vector_offsets(values.size)
+        segs = [values[offs[k] : offs[k + 1]].copy() for k in range(ctx.nprocs)]
+        return cls(ctx, values.size, segs)
+
+    @classmethod
+    def full(cls, ctx: DistContext, n: int, fill: float) -> "DistDenseVector":
+        offs = ctx.grid.vector_offsets(n)
+        segs = [
+            np.full(offs[k + 1] - offs[k], fill, dtype=np.float64)
+            for k in range(ctx.nprocs)
+        ]
+        return cls(ctx, n, segs)
+
+    # ------------------------------------------------------------------
+    def to_global(self) -> np.ndarray:
+        """Assemble the full vector (test/inspection helper; no charge)."""
+        return (
+            np.concatenate(self.segments)
+            if self.segments
+            else np.empty(0, dtype=np.float64)
+        )
+
+    def owner_offset(self, rank: int) -> int:
+        return int(self.ctx.grid.vector_offsets(self.n)[rank])
+
+    def get(self, index: int) -> float:
+        """Value at a global index (local lookup on the owning rank)."""
+        rank = self.ctx.grid.vector_owner(self.n, index)
+        return float(self.segments[rank][index - self.owner_offset(rank)])
+
+    def set(self, index: int, value: float) -> None:
+        rank = self.ctx.grid.vector_owner(self.n, index)
+        self.segments[rank][index - self.owner_offset(rank)] = value
+
+    def copy(self) -> "DistDenseVector":
+        return DistDenseVector(self.ctx, self.n, [s.copy() for s in self.segments])
+
+
+class DistSparseVector:
+    """A sparse vector distributed conformally with :class:`DistDenseVector`.
+
+    ``indices[k]``/``values[k]`` hold rank ``k``'s nonzeros with *global*
+    indices restricted to rank ``k``'s segment range.
+    """
+
+    __slots__ = ("ctx", "n", "indices", "values")
+
+    def __init__(
+        self,
+        ctx: DistContext,
+        n: int,
+        indices: list[np.ndarray],
+        values: list[np.ndarray],
+    ) -> None:
+        self.ctx = ctx
+        self.n = int(n)
+        if len(indices) != ctx.nprocs or len(values) != ctx.nprocs:
+            raise ValueError("need one (indices, values) pair per rank")
+        offs = ctx.grid.vector_offsets(n)
+        for k in range(ctx.nprocs):
+            idx = indices[k]
+            if idx.size:
+                if idx.min() < offs[k] or idx.max() >= offs[k + 1]:
+                    raise ValueError(f"rank {k} holds out-of-segment indices")
+                if np.any(np.diff(idx) <= 0):
+                    raise ValueError(f"rank {k} indices not sorted/unique")
+            if idx.shape != values[k].shape:
+                raise ValueError(f"rank {k} indices/values mismatch")
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, ctx: DistContext, n: int) -> "DistSparseVector":
+        return cls(
+            ctx,
+            n,
+            [np.empty(0, dtype=np.int64) for _ in range(ctx.nprocs)],
+            [np.empty(0, dtype=np.float64) for _ in range(ctx.nprocs)],
+        )
+
+    @classmethod
+    def from_sparse(cls, ctx: DistContext, x: SparseVector) -> "DistSparseVector":
+        """Scatter a global sparse vector into per-rank segments."""
+        offs = ctx.grid.vector_offsets(x.n)
+        idx, vals = [], []
+        for k in range(ctx.nprocs):
+            a = np.searchsorted(x.indices, offs[k], side="left")
+            b = np.searchsorted(x.indices, offs[k + 1], side="left")
+            idx.append(x.indices[a:b].copy())
+            vals.append(x.values[a:b].copy())
+        return cls(ctx, x.n, idx, vals)
+
+    @classmethod
+    def single(cls, ctx: DistContext, n: int, index: int, value: float = 0.0) -> "DistSparseVector":
+        return cls.from_sparse(ctx, SparseVector.single(n, index, value))
+
+    # ------------------------------------------------------------------
+    @property
+    def local_nnz(self) -> list[int]:
+        return [int(i.size) for i in self.indices]
+
+    def nnz_local_sum(self) -> int:
+        """Global nnz computed locally (test helper; real code uses allreduce)."""
+        return sum(self.local_nnz)
+
+    def to_sparse(self) -> SparseVector:
+        """Assemble the global sparse vector (test/inspection helper)."""
+        if not self.indices:
+            return SparseVector.empty(self.n)
+        return SparseVector(
+            self.n,
+            np.concatenate(self.indices),
+            np.concatenate(self.values),
+        )
+
+    def copy(self) -> "DistSparseVector":
+        return DistSparseVector(
+            self.ctx,
+            self.n,
+            [i.copy() for i in self.indices],
+            [v.copy() for v in self.values],
+        )

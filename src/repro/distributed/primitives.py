@@ -1,0 +1,166 @@
+"""Distributed implementations of the Table I primitives.
+
+Each function here is the 2D-distributed counterpart of a serial
+primitive in :mod:`repro.core.primitives` and must return element-for-
+element identical results — the property the cross-backend test suite
+enforces for every grid size.
+
+Communication-free primitives (IND, SELECT, SET) run on each rank's local
+piece and only charge compute time.  REDUCE charges an Allreduce;
+the global-nnz emptiness test used by the BFS loops charges the same.
+SPMSPV and SORTPERM live in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .context import DistContext
+from .distvector import DistDenseVector, DistSparseVector
+
+__all__ = [
+    "d_select",
+    "d_read_dense",
+    "d_set_dense",
+    "d_fill_values",
+    "d_reduce_argmin",
+    "d_nnz",
+    "d_first_index_where",
+]
+
+
+def d_select(
+    x: DistSparseVector,
+    y: DistDenseVector,
+    expr: Callable[[np.ndarray], np.ndarray],
+    region: str,
+) -> DistSparseVector:
+    """``SELECT(x, y, expr)``: keep nonzeros whose dense payload passes.
+
+    Purely local: vector pieces of ``x`` and ``y`` are aligned.
+    """
+    ctx = x.ctx
+    offs = ctx.grid.vector_offsets(x.n)
+    new_idx, new_vals, ops = [], [], []
+    for k in range(ctx.nprocs):
+        idx = x.indices[k]
+        ops.append(idx.size)
+        if idx.size == 0:
+            new_idx.append(idx.copy())
+            new_vals.append(x.values[k].copy())
+            continue
+        payload = y.segments[k][idx - offs[k]]
+        mask = np.asarray(expr(payload), dtype=bool)
+        new_idx.append(idx[mask])
+        new_vals.append(x.values[k][mask])
+    ctx.charge_compute(region, ops)
+    return DistSparseVector(ctx, x.n, new_idx, new_vals)
+
+
+def d_read_dense(
+    x: DistSparseVector, y: DistDenseVector, region: str
+) -> DistSparseVector:
+    """The gather overload of ``SET``: payloads of ``x`` from dense ``y``."""
+    ctx = x.ctx
+    offs = ctx.grid.vector_offsets(x.n)
+    new_vals, ops = [], []
+    for k in range(ctx.nprocs):
+        idx = x.indices[k]
+        ops.append(idx.size)
+        new_vals.append(
+            y.segments[k][idx - offs[k]].astype(np.float64)
+            if idx.size
+            else np.empty(0, dtype=np.float64)
+        )
+    ctx.charge_compute(region, ops)
+    return DistSparseVector(ctx, x.n, [i.copy() for i in x.indices], new_vals)
+
+
+def d_set_dense(y: DistDenseVector, x: DistSparseVector, region: str) -> None:
+    """``SET(y, x)``: scatter sparse payloads into the dense vector."""
+    ctx = x.ctx
+    offs = ctx.grid.vector_offsets(x.n)
+    ops = []
+    for k in range(ctx.nprocs):
+        idx = x.indices[k]
+        ops.append(idx.size)
+        if idx.size:
+            y.segments[k][idx - offs[k]] = x.values[k]
+    ctx.charge_compute(region, ops)
+
+
+def d_fill_values(x: DistSparseVector, value: float) -> DistSparseVector:
+    """A copy of ``x`` with every payload set to ``value`` (no charge)."""
+    return DistSparseVector(
+        x.ctx,
+        x.n,
+        [i.copy() for i in x.indices],
+        [np.full(i.size, value, dtype=np.float64) for i in x.indices],
+    )
+
+
+def d_reduce_argmin(
+    x: DistSparseVector, y: DistDenseVector, region: str
+) -> int:
+    """``REDUCE``: global index minimizing ``y`` over ``IND(x)``.
+
+    Each rank reduces locally, then one MINLOC-style Allreduce picks the
+    global winner; ties break to the smallest index, matching
+    :func:`repro.core.primitives.reduce_argmin`.
+    """
+    ctx = x.ctx
+    offs = ctx.grid.vector_offsets(x.n)
+    pairs: list[tuple[float, float]] = []
+    ops = []
+    for k in range(ctx.nprocs):
+        idx = x.indices[k]
+        ops.append(idx.size)
+        if idx.size == 0:
+            pairs.append((np.inf, np.inf))
+            continue
+        payload = y.segments[k][idx - offs[k]]
+        j = int(np.argmin(payload))  # first occurrence = smallest index
+        pairs.append((float(payload[j]), float(idx[j])))
+    ctx.charge_compute(region, ops)
+    value, index = ctx.engine.allreduce_lexmin(pairs, region)
+    if not np.isfinite(index):
+        raise ValueError("REDUCE over an empty frontier")
+    return int(index)
+
+
+def d_nnz(x: DistSparseVector, region: str) -> int:
+    """Global nonzero count (the BFS loop's emptiness test): Allreduce."""
+    total = x.ctx.engine.allreduce_scalar(
+        [float(i.size) for i in x.indices], np.sum, region
+    )
+    return int(total)
+
+
+def d_first_index_where(
+    y: DistDenseVector,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    region: str,
+) -> int:
+    """Smallest global index whose dense entry satisfies ``predicate``.
+
+    Used by the multi-component driver to seed Algorithm 4 with the
+    smallest unvisited vertex; returns ``n`` when none qualifies.
+    """
+    ctx = y.ctx
+    offs = ctx.grid.vector_offsets(y.n)
+    pairs: list[tuple[float, float]] = []
+    ops = []
+    for k in range(ctx.nprocs):
+        seg = y.segments[k]
+        ops.append(seg.size)
+        hits = np.flatnonzero(np.asarray(predicate(seg), dtype=bool))
+        if hits.size:
+            g = float(hits[0] + offs[k])
+            pairs.append((g, g))
+        else:
+            pairs.append((np.inf, np.inf))
+    ctx.charge_compute(region, ops)
+    value, _ = ctx.engine.allreduce_lexmin(pairs, region)
+    return y.n if not np.isfinite(value) else int(value)

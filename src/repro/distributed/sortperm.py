@@ -1,0 +1,138 @@
+"""Distributed SORTPERM: the paper's specialized bucket sort (Section IV.B).
+
+Vertices of the next frontier must be ranked by the lexicographic key
+``(parent label, degree, vertex id)``.  The paper's insight: parent
+labels of the next frontier all lie in the contiguous label range that
+was assigned to the *current* frontier, so bucketing by equal sub-ranges
+of parent label yields a perfectly ordered bucket decomposition — no
+splitter selection pass (the reason it beats general samplesorts like
+HykSort).
+
+Pipeline (matches the paper):
+
+1. every rank forms tuples ``(parent_label, degree, id)`` for its local
+   frontier entries and routes each to the processor owning its parent-
+   label sub-range (AllToAll #1);
+2. bucket owners sort locally (lexicographic);
+3. an exclusive scan over bucket sizes turns local positions into global
+   ranks;
+4. ``(id, rank)`` pairs return to each vertex's vector-piece owner
+   (AllToAll #2, "only the indices").
+
+``T_SORTPERM = O(n log n / p + beta n/p + iters * alpha * p)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .context import DistContext
+from .distvector import DistDenseVector, DistSparseVector
+
+__all__ = ["d_sortperm", "bucket_of_labels"]
+
+
+def bucket_of_labels(
+    labels: np.ndarray, base: float, span: int, nprocs: int
+) -> np.ndarray:
+    """Bucket (owning processor) of each parent label.
+
+    Processor ``i`` owns labels in ``[base + span*i/p, base + span*(i+1)/p)``
+    — the paper's range formula with ``span = nnz(Lcur)``.
+    """
+    if span <= 0:
+        raise ValueError("label span must be positive")
+    rel = labels - base
+    buckets = (rel * nprocs) // span
+    return np.clip(buckets, 0, nprocs - 1).astype(np.int64)
+
+
+def d_sortperm(
+    x: DistSparseVector,
+    degrees: DistDenseVector,
+    label_base: int,
+    label_span: int,
+    region: str,
+) -> DistSparseVector:
+    """Distributed SORTPERM of frontier ``x`` keyed by (parent, degree, id).
+
+    ``x``'s payloads are parent labels, guaranteed to lie in
+    ``[label_base, label_base + label_span)``.  Returns a vector with
+    ``x``'s structure whose payloads are global 0-based ranks in the
+    sorted order — identical to the serial
+    :func:`repro.core.primitives.sortperm`.
+    """
+    ctx = x.ctx
+    p = ctx.nprocs
+    offs = ctx.grid.vector_offsets(x.n)
+
+    # ---- Step 1: form tuples and route to bucket owners ----------------
+    send: list[list[np.ndarray]] = []
+    form_ops = []
+    for k in range(p):
+        idx = x.indices[k]
+        form_ops.append(idx.size)
+        if idx.size == 0:
+            send.append([np.empty((0, 3)) for _ in range(p)])
+            continue
+        parent = x.values[k]
+        deg = degrees.segments[k][idx - offs[k]]
+        tuples = np.empty((idx.size, 3), dtype=np.float64)
+        tuples[:, 0] = parent
+        tuples[:, 1] = deg
+        tuples[:, 2] = idx
+        buckets = bucket_of_labels(parent, float(label_base), label_span, p)
+        row = []
+        for t in range(p):
+            row.append(tuples[buckets == t])
+        send.append(row)
+    ctx.charge_compute(region, form_ops)
+    recv = ctx.engine.alltoall(send, region)
+
+    # ---- Step 2: local lexicographic sorts ------------------------------
+    sorted_tuples: list[np.ndarray] = []
+    sort_keys = []
+    for t in range(p):
+        chunks = [c for c in recv[t] if c.size]
+        block = np.concatenate(chunks) if chunks else np.empty((0, 3))
+        sort_keys.append(block.shape[0])
+        if block.shape[0]:
+            order = np.lexsort((block[:, 2], block[:, 1], block[:, 0]))
+            block = block[order]
+        sorted_tuples.append(block)
+    ctx.charge_sort(region, sort_keys)
+
+    # ---- Step 3: exclusive scan of bucket sizes -------------------------
+    scan = ctx.engine.exscan_counts([b.shape[0] for b in sorted_tuples], region)
+
+    # ---- Step 4: return (id, global rank) pairs to the piece owners -----
+    send_back: list[list[np.ndarray]] = []
+    for t in range(p):
+        block = sorted_tuples[t]
+        ranks = scan[t] + np.arange(block.shape[0], dtype=np.int64)
+        ids = block[:, 2].astype(np.int64)
+        owners = np.searchsorted(offs[1:], ids, side="right")
+        pairs = np.empty((block.shape[0], 2), dtype=np.float64)
+        pairs[:, 0] = ids
+        pairs[:, 1] = ranks
+        row = [pairs[owners == d] for d in range(p)]
+        send_back.append(row)
+    back = ctx.engine.alltoall(send_back, region)
+
+    out_vals: list[np.ndarray] = []
+    place_ops = []
+    for k in range(p):
+        chunks = [c for c in back[k] if c.size]
+        pairs = np.concatenate(chunks) if chunks else np.empty((0, 2))
+        idx = x.indices[k]
+        place_ops.append(pairs.shape[0])
+        vals = np.empty(idx.size, dtype=np.float64)
+        if pairs.shape[0] != idx.size:
+            raise AssertionError("SORTPERM lost or duplicated frontier entries")
+        if idx.size:
+            pos = np.searchsorted(idx, pairs[:, 0].astype(np.int64))
+            vals[pos] = pairs[:, 1]
+        out_vals.append(vals)
+    ctx.charge_compute(region, place_ops)
+
+    return DistSparseVector(ctx, x.n, [i.copy() for i in x.indices], out_vals)

@@ -1,0 +1,32 @@
+"""Simulated distributed machine: cost model, grid, collectives.
+
+This package is the stand-in for NERSC Edison + MPI.  Algorithms built on
+it execute their real data movement in memory while the machine charges
+modeled time using the paper's ``T = F + alpha*S + beta*W`` model — see
+DESIGN.md, "Substitutions".
+"""
+
+from .comm import CollectiveEngine, words_of
+from .cost import REGIONS, CostLedger, RegionCost
+from .grid import ProcessGrid, block_owner, block_range, square_grid_side
+from .params import WORD_BYTES, MachineParams, edison, zero_latency
+from .threading_model import HybridConfig, hybrid_configs_for_cores, paper_core_counts
+
+__all__ = [
+    "MachineParams",
+    "edison",
+    "zero_latency",
+    "WORD_BYTES",
+    "CostLedger",
+    "RegionCost",
+    "REGIONS",
+    "CollectiveEngine",
+    "words_of",
+    "ProcessGrid",
+    "block_range",
+    "block_owner",
+    "square_grid_side",
+    "HybridConfig",
+    "hybrid_configs_for_cores",
+    "paper_core_counts",
+]

@@ -1,0 +1,225 @@
+"""Simulated MPI collectives: real data movement + modeled cost.
+
+Each collective here does two things at once:
+
+1. **Moves the actual bytes.**  Inputs are per-rank numpy arrays; outputs
+   are exactly what each simulated rank would hold after the collective.
+   Algorithm correctness therefore never depends on the cost model.
+2. **Charges modeled time** to a :class:`~repro.machine.cost.CostLedger`
+   using textbook α-β costs that match the complexities quoted in the
+   paper (Section IV.B): Allgather/Allreduce are logarithmic in latency,
+   personalized All-to-all pays ``alpha * (q - 1)`` latency (hence the
+   ``|iters| * alpha * p`` term in T_SORTPERM), and gather-to-root is
+   bottlenecked by the root's injection bandwidth.
+
+Groups of concurrent collectives (e.g. one Allgather per processor column)
+charge ``max`` over groups, because the groups run simultaneously on
+disjoint subcommunicators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .cost import CostLedger
+from .params import WORD_BYTES, MachineParams
+
+__all__ = ["CollectiveEngine", "words_of"]
+
+
+def words_of(arr: np.ndarray) -> int:
+    """Wire size of an array in machine words (rounded up)."""
+    return (int(arr.nbytes) + WORD_BYTES - 1) // WORD_BYTES
+
+
+def _log2_ceil(q: int) -> int:
+    return max(1, math.ceil(math.log2(q))) if q > 1 else 0
+
+
+class CollectiveEngine:
+    """Executes collectives on lists of per-rank buffers and charges cost."""
+
+    def __init__(self, machine: MachineParams, ledger: CostLedger) -> None:
+        self.machine = machine
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    # Cost formulas (pure; exposed for the analysis benches and tests)
+    # ------------------------------------------------------------------
+    def allgather_cost(self, q: int, result_words: int) -> tuple[float, int, int]:
+        """(seconds, messages, words) for an Allgather on ``q`` ranks.
+
+        Recursive doubling: ``ceil(log2 q)`` rounds; every rank ends with
+        ``result_words`` words, of which it received ``(q-1)/q``.
+        """
+        if q <= 1:
+            return 0.0, 0, 0
+        rounds = _log2_ceil(q)
+        moved = int(result_words * (q - 1) / q)
+        seconds = self.machine.alpha * rounds + self.machine.beta * moved
+        return seconds, rounds, moved
+
+    def alltoall_cost(self, q: int, max_words_per_rank: int) -> tuple[float, int, int]:
+        """(seconds, messages, words) for personalized All-to-all.
+
+        Pairwise exchange: ``q - 1`` message rounds (this is the
+        ``alpha * p`` latency the paper's SORTPERM bound carries), with
+        bandwidth charged at the busiest rank.
+        """
+        if q <= 1:
+            return 0.0, 0, 0
+        rounds = q - 1
+        seconds = self.machine.alpha * rounds + self.machine.beta * max_words_per_rank
+        return seconds, rounds, max_words_per_rank
+
+    def allreduce_cost(self, q: int, words: int) -> tuple[float, int, int]:
+        if q <= 1:
+            return 0.0, 0, 0
+        rounds = _log2_ceil(q)
+        moved = 2 * words * rounds
+        seconds = self.machine.alpha * rounds + self.machine.beta * moved
+        return seconds, rounds, moved
+
+    def bcast_cost(self, q: int, words: int) -> tuple[float, int, int]:
+        if q <= 1:
+            return 0.0, 0, 0
+        rounds = _log2_ceil(q)
+        seconds = self.machine.alpha * rounds + self.machine.beta * words
+        return seconds, rounds, words
+
+    def gather_to_root_cost(self, q: int, total_words: int) -> tuple[float, int, int]:
+        """Gather of ``total_words`` onto one root: root injection bound."""
+        if q <= 1:
+            return 0.0, 0, 0
+        seconds = self.machine.alpha * (q - 1) + self.machine.beta_node * total_words
+        return seconds, q - 1, total_words
+
+    # ------------------------------------------------------------------
+    # Data-moving collectives
+    # ------------------------------------------------------------------
+    def allgather_groups(
+        self,
+        groups: Sequence[Sequence[np.ndarray]],
+        region: str,
+    ) -> list[np.ndarray]:
+        """Concurrent Allgathers: one per group, all groups in parallel.
+
+        ``groups[g][k]`` is the contribution of the ``k``-th rank of group
+        ``g``.  Returns, per group, the concatenation every member ends up
+        holding.  Charges the maximum group cost once (groups overlap in
+        time) and counts messages/words across all groups.
+        """
+        results: list[np.ndarray] = []
+        worst = 0.0
+        tot_msgs = 0
+        tot_words = 0
+        for group in groups:
+            parts = list(group)
+            if parts:
+                out = np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+            else:
+                out = np.empty(0)
+            results.append(out)
+            sec, msgs, wrds = self.allgather_cost(len(parts), words_of(out))
+            worst = max(worst, sec)
+            tot_msgs += msgs * max(len(parts), 1)
+            tot_words += wrds * max(len(parts), 1)
+        self.ledger.charge_comm(region, worst, tot_msgs, tot_words)
+        return results
+
+    def alltoall(
+        self,
+        send: Sequence[Sequence[np.ndarray]],
+        region: str,
+    ) -> list[list[np.ndarray]]:
+        """Personalized all-to-all on ``q`` ranks.
+
+        ``send[i][j]`` is what rank ``i`` sends to rank ``j``; the result
+        has ``recv[j][i] = send[i][j]``.  Bandwidth is charged at the
+        busiest rank (max of words sent or received per rank).
+        """
+        q = len(send)
+        for i, row in enumerate(send):
+            if len(row) != q:
+                raise ValueError(f"send[{i}] must list one buffer per rank")
+        recv = [[send[i][j] for i in range(q)] for j in range(q)]
+        sent_words = [sum(words_of(b) for b in send[i]) for i in range(q)]
+        recv_words = [sum(words_of(b) for b in recv[j]) for j in range(q)]
+        busiest = max(max(sent_words, default=0), max(recv_words, default=0))
+        sec, msgs, _ = self.alltoall_cost(q, busiest)
+        self.ledger.charge_comm(region, sec, msgs * q, sum(sent_words))
+        return recv
+
+    def allreduce_scalar(
+        self,
+        per_rank_values: Sequence[float],
+        op: Callable[[np.ndarray], float],
+        region: str,
+    ) -> float:
+        """Reduce one scalar per rank to a single value everyone holds."""
+        q = len(per_rank_values)
+        result = op(np.asarray(per_rank_values, dtype=np.float64))
+        sec, msgs, wrds = self.allreduce_cost(q, 1)
+        self.ledger.charge_comm(region, sec, msgs * q, wrds * q)
+        return float(result)
+
+    def allreduce_array(
+        self,
+        per_rank_arrays: Sequence[np.ndarray],
+        ufunc: np.ufunc,
+        region: str,
+    ) -> np.ndarray:
+        """Elementwise reduction of equal-shaped per-rank arrays."""
+        q = len(per_rank_arrays)
+        stacked = np.stack([np.asarray(a) for a in per_rank_arrays])
+        result = ufunc.reduce(stacked, axis=0)
+        sec, msgs, wrds = self.allreduce_cost(q, words_of(result))
+        self.ledger.charge_comm(region, sec, msgs * q, wrds * q)
+        return result
+
+    def allreduce_lexmin(
+        self,
+        per_rank_pairs: Sequence[tuple[float, float]],
+        region: str,
+    ) -> tuple[float, float]:
+        """Lexicographic minimum of (value, index) pairs across ranks.
+
+        This is the paper's REDUCE with deterministic tie-breaking: the
+        minimum value wins, ties resolve to the smallest index.  MPI would
+        implement it as an Allreduce with MINLOC.
+        """
+        q = len(per_rank_pairs)
+        best = min(per_rank_pairs)
+        sec, msgs, wrds = self.allreduce_cost(q, 2)
+        self.ledger.charge_comm(region, sec, msgs * q, wrds * q)
+        return best
+
+    def exscan_counts(self, per_rank_counts: Sequence[int], region: str) -> np.ndarray:
+        """Exclusive prefix sums of one count per rank (Allgather of ints)."""
+        q = len(per_rank_counts)
+        counts = np.asarray(per_rank_counts, dtype=np.int64)
+        sec, msgs, wrds = self.allgather_cost(q, q)
+        self.ledger.charge_comm(region, sec, msgs * q, wrds * q)
+        out = np.zeros(q, dtype=np.int64)
+        np.cumsum(counts[:-1], out=out[1:])
+        return out
+
+    def bcast(self, value: np.ndarray, q: int, region: str) -> np.ndarray:
+        sec, msgs, wrds = self.bcast_cost(q, words_of(np.asarray(value)))
+        self.ledger.charge_comm(region, sec, msgs, wrds * max(q - 1, 0))
+        return value
+
+    def gather_to_root(
+        self, per_rank_arrays: Sequence[np.ndarray], region: str
+    ) -> np.ndarray:
+        """Concatenate all per-rank buffers at a root rank."""
+        q = len(per_rank_arrays)
+        parts = [np.asarray(a) for a in per_rank_arrays]
+        out = np.concatenate(parts) if parts else np.empty(0)
+        total_words = sum(words_of(p) for p in parts[1:])  # root's own part is free
+        sec, msgs, wrds = self.gather_to_root_cost(q, total_words)
+        self.ledger.charge_comm(region, sec, msgs, wrds)
+        return out

@@ -1,0 +1,73 @@
+"""Hybrid OpenMP+MPI core-count accounting.
+
+The paper allocates ``p`` cores and creates a ``sqrt(p/t) x sqrt(p/t)``
+process grid with ``t`` OpenMP threads per MPI process (Section V.A);
+their sweet spot is ``t = 6``, and Fig. 6 shows flat MPI (``t = 1``)
+being ~5x slower at 4096 cores.  This module maps a total core count to
+the grid the paper would have built, so benchmark sweeps can be written
+in terms of cores, matching the paper's x-axes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .grid import ProcessGrid
+
+__all__ = ["HybridConfig", "hybrid_configs_for_cores", "paper_core_counts"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """A (process grid, threads per process) execution configuration."""
+
+    grid: ProcessGrid
+    threads_per_process: int
+
+    @property
+    def nprocs(self) -> int:
+        return self.grid.size
+
+    @property
+    def cores(self) -> int:
+        return self.nprocs * self.threads_per_process
+
+    def describe(self) -> str:
+        g = self.grid
+        return (
+            f"{self.cores} cores = {g.pr}x{g.pc} processes "
+            f"x {self.threads_per_process} threads"
+        )
+
+
+def hybrid_configs_for_cores(
+    cores: int, threads_per_process: int = 6
+) -> HybridConfig:
+    """The largest square-grid hybrid config fitting within ``cores``.
+
+    Mirrors the paper's allocation rule: with ``p`` cores and ``t``
+    threads per process, build a ``floor(sqrt(p/t))``-sided square grid.
+    For small allocations where ``cores < t`` the whole allocation runs as
+    one multithreaded process (this is how the paper's 6-core data point
+    of Fig. 4 works).
+    """
+    if cores < 1:
+        raise ValueError("cores must be positive")
+    t = min(threads_per_process, cores)
+    side = max(1, math.isqrt(cores // t))
+    return HybridConfig(grid=ProcessGrid(side, side), threads_per_process=t)
+
+
+def paper_core_counts(max_cores: int = 4056, *, small: bool = False) -> list[int]:
+    """The x-axis core counts used in the paper's figures.
+
+    Fig. 4/5 use {1, 6, 24, 54, 216, 1014, 4056} (hybrid, 6 threads per
+    process, square process grids: 1, 1, 2x2, 3x3, 6x6, 13x13, 26x26);
+    ``small=True`` returns the flat-MPI axis of Fig. 6 {1, 4, 16, ...}.
+    """
+    if small:
+        counts = [1, 4, 16, 64, 256, 1024, 4096]
+    else:
+        counts = [1, 6, 24, 54, 216, 1014, 4056]
+    return [c for c in counts if c <= max_cores]

@@ -1,0 +1,30 @@
+"""Matrix/graph generators: stencil meshes, random graphs, paper suite."""
+
+from .random_graphs import (
+    block_overlap_graph,
+    disconnected_union,
+    erdos_renyi,
+    random_banded,
+    random_geometric,
+    rmat,
+)
+from .stencil import grid_graph_edges, path_graph, stencil_2d, stencil_3d
+from .suite import PAPER_SUITE, PaperStats, SuiteEntry, build_suite, thermal2_like
+
+__all__ = [
+    "stencil_2d",
+    "stencil_3d",
+    "path_graph",
+    "grid_graph_edges",
+    "erdos_renyi",
+    "random_banded",
+    "rmat",
+    "block_overlap_graph",
+    "random_geometric",
+    "disconnected_union",
+    "PAPER_SUITE",
+    "PaperStats",
+    "SuiteEntry",
+    "build_suite",
+    "thermal2_like",
+]

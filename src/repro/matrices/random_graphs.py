@@ -1,0 +1,147 @@
+"""Random graph generators: low-diameter and irregular test inputs.
+
+RCM's scaling behaviour is diameter-driven, so the suite needs both
+high-diameter meshes (:mod:`repro.matrices.stencil`) and the low-diameter
+heavy matrices of the paper (nuclear CI problems, whose pseudo-diameters
+are 5-7).  These generators cover the low-diameter and irregular regimes,
+plus utility graphs for property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "erdos_renyi",
+    "random_banded",
+    "rmat",
+    "block_overlap_graph",
+    "random_geometric",
+    "disconnected_union",
+]
+
+
+def erdos_renyi(n: int, avg_degree: float, seed: int = 0) -> CSRMatrix:
+    """G(n, m) random graph with ``m ~ n * avg_degree / 2`` edges."""
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+    keep = u != v
+    edges = np.column_stack([u[keep], v[keep]])
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+
+
+def random_banded(n: int, band: int, avg_degree: float, seed: int = 0) -> CSRMatrix:
+    """Random graph whose edges stay within ``band`` of the diagonal.
+
+    Natural-bandwidth ~ ``band``; RCM typically tightens it further.
+    Mimics matrices that are already nearly ordered.
+    """
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    d = rng.integers(1, band + 1, size=m, dtype=np.int64)
+    v = np.minimum(u + d, n - 1)
+    keep = u != v
+    edges = np.column_stack([u[keep], v[keep]])
+    # make sure the graph is connected along the diagonal
+    chain = np.column_stack(
+        [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)]
+    )
+    edges = np.concatenate([edges, chain])
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+
+
+def rmat(scale: int, edge_factor: int = 8, seed: int = 0,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19) -> CSRMatrix:
+    """Graph500-style RMAT generator: skewed, low diameter.
+
+    The paper contrasts RCM inputs with "synthetic graphs used by the
+    Graph500 benchmark"; this generator provides that regime for the
+    BFS-oriented tests and ablations.
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        u <<= 1
+        v <<= 1
+        # quadrant probabilities (a, b, c, d)
+        right = r1 >= a + b
+        down = np.where(
+            right, r2 >= c / max(1 - a - b, 1e-12), r2 >= a / (a + b)
+        )
+        u += right.astype(np.int64)
+        v += down.astype(np.int64)
+    keep = u != v
+    edges = np.column_stack([u[keep], v[keep]])
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+
+
+def block_overlap_graph(
+    nblocks: int, block_size: int, overlap: int, seed: int = 0
+) -> CSRMatrix:
+    """Chained dense blocks with overlap: nuclear-CI-like structure.
+
+    Each block is a clique; consecutive blocks share ``overlap``
+    vertices.  Degree is ~``block_size`` (heavy rows) while the diameter
+    is ~``nblocks`` — with few blocks this reproduces the low-diameter,
+    high-density regime of Li7Nmax6/Nm7.
+    """
+    if overlap >= block_size:
+        raise ValueError("overlap must be smaller than the block size")
+    rng = np.random.default_rng(seed)
+    step = block_size - overlap
+    n = step * (nblocks - 1) + block_size
+    edges = []
+    for b in range(nblocks):
+        lo = b * step
+        members = np.arange(lo, lo + block_size, dtype=np.int64)
+        iu, ju = np.triu_indices(block_size, k=1)
+        edges.append(np.column_stack([members[iu], members[ju]]))
+    all_edges = np.concatenate(edges)
+    # sprinkle a few long-range couplings like CI interaction terms
+    extra = max(n // 4, 1)
+    u = rng.integers(0, n, size=extra, dtype=np.int64)
+    v = rng.integers(0, n, size=extra, dtype=np.int64)
+    keep = u != v
+    all_edges = np.concatenate([all_edges, np.column_stack([u[keep], v[keep]])])
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, all_edges).drop_diagonal())
+
+
+def random_geometric(n: int, radius: float, seed: int = 0) -> CSRMatrix:
+    """Random geometric graph in the unit square (mesh-like, irregular)."""
+    from scipy.spatial import cKDTree
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(radius, output_type="ndarray").astype(np.int64)
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, pairs).drop_diagonal())
+
+
+def disconnected_union(parts: list[CSRMatrix]) -> CSRMatrix:
+    """Block-diagonal union of graphs (multi-component test inputs)."""
+    offsets = np.cumsum([0] + [p.nrows for p in parts])
+    n = int(offsets[-1])
+    rows, cols = [], []
+    for off, part in zip(offsets, parts):
+        coo = part.to_coo()
+        rows.append(coo.rows + off)
+        cols.append(coo.cols + off)
+    if rows:
+        edges_r = np.concatenate(rows)
+        edges_c = np.concatenate(cols)
+    else:
+        edges_r = edges_c = np.empty(0, dtype=np.int64)
+    return CSRMatrix.from_coo(
+        COOMatrix(n, n, edges_r, edges_c, np.ones(edges_r.size))
+    )

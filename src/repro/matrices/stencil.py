@@ -1,0 +1,91 @@
+"""Structured mesh (stencil) matrix generators.
+
+Most of the paper's suite comes from PDE discretizations on meshes; these
+generators produce the same structural regimes: banded adjacency, bounded
+degree, diameter controlled by mesh aspect ratio.  All generators return
+symmetric pattern matrices with empty diagonal (pure adjacency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["stencil_2d", "stencil_3d", "path_graph", "grid_graph_edges"]
+
+
+def grid_graph_edges(
+    dims: tuple[int, ...], neighborhood: np.ndarray
+) -> np.ndarray:
+    """Edges of a lattice graph with the given offset neighborhood.
+
+    ``dims`` are the lattice extents; ``neighborhood`` is an ``(k, d)``
+    array of integer offsets (only one of each ±pair is needed, the
+    adjacency is symmetrized downstream).
+    """
+    dims_arr = np.asarray(dims, dtype=np.int64)
+    d = dims_arr.size
+    coords = np.indices(dims).reshape(d, -1).T  # (n, d)
+    strides = np.concatenate([np.cumprod(dims_arr[::-1])[::-1][1:], [1]])
+    base_ids = coords @ strides
+    edges = []
+    for off in neighborhood:
+        nb = coords + off
+        ok = np.all((nb >= 0) & (nb < dims_arr), axis=1)
+        edges.append(
+            np.column_stack([base_ids[ok], nb[ok] @ strides])
+        )
+    return np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
+
+
+def _stencil_offsets_2d(points: int) -> np.ndarray:
+    if points == 5:
+        return np.array([[0, 1], [1, 0]])
+    if points == 9:
+        return np.array([[0, 1], [1, 0], [1, 1], [1, -1]])
+    raise ValueError("2D stencil must be 5 or 9 points")
+
+
+def _stencil_offsets_3d(points: int) -> np.ndarray:
+    if points == 7:
+        return np.array([[0, 0, 1], [0, 1, 0], [1, 0, 0]])
+    if points == 27:
+        offs = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    if (dx, dy, dz) > (0, 0, 0):  # one of each ± pair
+                        offs.append((dx, dy, dz))
+        return np.array(offs)
+    raise ValueError("3D stencil must be 7 or 27 points")
+
+
+def stencil_2d(nx: int, ny: int, points: int = 5) -> CSRMatrix:
+    """2D lattice adjacency (5- or 9-point stencil), ``nx * ny`` vertices.
+
+    Diameter ~ ``nx + ny``: the high-diameter regime (thermal2, ldoor).
+    """
+    edges = grid_graph_edges((nx, ny), _stencil_offsets_2d(points))
+    return CSRMatrix.from_coo(
+        COOMatrix.from_edges(nx * ny, edges).drop_diagonal()
+    )
+
+
+def stencil_3d(nx: int, ny: int, nz: int, points: int = 7) -> CSRMatrix:
+    """3D lattice adjacency (7- or 27-point stencil)."""
+    edges = grid_graph_edges((nx, ny, nz), _stencil_offsets_3d(points))
+    return CSRMatrix.from_coo(
+        COOMatrix.from_edges(nx * ny * nz, edges).drop_diagonal()
+    )
+
+
+def path_graph(n: int) -> CSRMatrix:
+    """The n-vertex path: maximum-diameter sanity-check graph."""
+    if n < 1:
+        raise ValueError("path needs at least one vertex")
+    edges = np.column_stack(
+        [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)]
+    )
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges))

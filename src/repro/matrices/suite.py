@@ -1,0 +1,219 @@
+"""Laptop-scale surrogates for the paper's matrix suite (Fig. 3).
+
+The paper evaluates on nine symmetric matrices from SuiteSparse and from
+nuclear configuration-interaction calculations.  Those files are
+multi-GB and unavailable offline, so each suite entry here is a synthetic
+surrogate engineered to sit in the same *structural regime* as its
+namesake — the regime, not the size, is what drives the paper's results:
+
+* **pseudo-diameter band** — controls the number of level-synchronous BFS
+  steps, hence latency-bound scaling (ldoor/Flan/nlpkkt vs Li7/Nm7);
+* **degree/density** — controls compute per BFS step;
+* **orderability** — whether RCM can improve the bandwidth at all
+  (Serena and Flan_1565 are the paper's "RCM ineffective" cases: their
+  natural bandwidth already matches their intrinsic cross-section).
+
+Matrices whose namesakes arrive in scrambled application order are
+scrambled here too (deterministic seed), so pre-RCM bandwidth is O(n), as
+in Fig. 3.  Per-entry paper statistics are recorded for EXPERIMENTS.md
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.permute import permute_symmetric
+from .random_graphs import block_overlap_graph
+from .stencil import stencil_2d, stencil_3d
+
+__all__ = ["PaperStats", "SuiteEntry", "PAPER_SUITE", "build_suite", "thermal2_like"]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Fig. 3 numbers for the real matrix (for side-by-side reporting)."""
+
+    n: int
+    nnz: int
+    bw_pre: int
+    bw_post: int
+    pseudo_diameter: int
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One suite surrogate: generator + paper reference statistics."""
+
+    name: str
+    paper_name: str
+    description: str
+    paper: PaperStats
+    scrambled: bool
+    _builder: Callable[[float], CSRMatrix] = field(repr=False)
+
+    def build(self, scale: float = 1.0) -> CSRMatrix:
+        """Construct the surrogate; ``scale`` multiplies linear mesh dims."""
+        A = self._builder(scale)
+        if self.scrambled:
+            # deterministic scramble reproduces "application order" inputs
+            rng = np.random.default_rng(0xC0FFEE)
+            perm = rng.permutation(A.nrows).astype(np.int64)
+            A = permute_symmetric(A, perm)
+        return A
+
+
+def _dim(base: int, scale: float, minimum: int = 3) -> int:
+    return max(int(round(base * scale)), minimum)
+
+
+def _nd24k(scale: float) -> CSRMatrix:
+    s = _dim(13, scale)
+    return stencil_3d(s, s, s, points=27)
+
+
+def _ldoor(scale: float) -> CSRMatrix:
+    return stencil_2d(_dim(170, scale), _dim(12, scale), points=9)
+
+
+def _serena(scale: float) -> CSRMatrix:
+    return stencil_3d(_dim(30, scale), _dim(9, scale), _dim(9, scale), points=7)
+
+
+def _audikw(scale: float) -> CSRMatrix:
+    return stencil_3d(_dim(45, scale), _dim(7, scale), _dim(7, scale), points=27)
+
+
+def _dielfilter(scale: float) -> CSRMatrix:
+    return stencil_3d(_dim(40, scale), _dim(8, scale), _dim(8, scale), points=27)
+
+
+def _flan(scale: float) -> CSRMatrix:
+    return stencil_3d(_dim(100, scale), _dim(5, scale), _dim(4, scale), points=7)
+
+
+def _li7nmax6(scale: float) -> CSRMatrix:
+    return block_overlap_graph(
+        nblocks=6, block_size=_dim(300, scale), overlap=_dim(60, scale), seed=7
+    )
+
+
+def _nm7(scale: float) -> CSRMatrix:
+    return block_overlap_graph(
+        nblocks=4, block_size=_dim(700, scale), overlap=_dim(150, scale), seed=11
+    )
+
+
+def _nlpkkt(scale: float) -> CSRMatrix:
+    """KKT-like structure: a 3D mesh Hessian coupled to constraint rows."""
+    from ..sparse.coo import COOMatrix
+
+    H = stencil_3d(_dim(35, scale), _dim(8, scale), _dim(8, scale), points=7)
+    n1 = H.nrows
+    n2 = n1 // 2  # one constraint per two primal variables
+    n = n1 + n2
+    coo = H.to_coo()
+    rows = [coo.rows, coo.cols]
+    cols = [coo.cols, coo.rows]
+    # constraint k couples primal variables 2k, 2k+1 and their +1 neighbors
+    k = np.arange(n2, dtype=np.int64)
+    for off in (0, 1, 2):
+        primal = np.minimum(2 * k + off, n1 - 1)
+        rows.append(n1 + k)
+        cols.append(primal)
+        rows.append(primal)
+        cols.append(n1 + k)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    keep = r != c
+    return CSRMatrix.from_coo(
+        COOMatrix(n, n, r[keep], c[keep], np.ones(keep.sum()))
+    )
+
+
+#: The nine suite surrogates, in the paper's Fig. 3 order.
+PAPER_SUITE: dict[str, SuiteEntry] = {
+    entry.name: entry
+    for entry in (
+        SuiteEntry(
+            "nd24k", "nd24k", "3D mesh problem (dense rows, low diameter)",
+            PaperStats(72_000, 29_000_000, 68_114, 10_294, 14),
+            scrambled=True, _builder=_nd24k,
+        ),
+        SuiteEntry(
+            "ldoor", "ldoor", "structural problem (thin, very high diameter)",
+            PaperStats(952_000, 42_490_000, 686_979, 9_259, 178),
+            scrambled=True, _builder=_ldoor,
+        ),
+        SuiteEntry(
+            "serena", "Serena",
+            "gas reservoir simulation (RCM-ineffective: intrinsic band)",
+            PaperStats(1_390_000, 64_100_000, 81_578, 81_218, 58),
+            scrambled=False, _builder=_serena,
+        ),
+        SuiteEntry(
+            "audikw_1", "audikw_1", "structural problem (heavy, elongated)",
+            PaperStats(943_000, 78_000_000, 925_946, 35_170, 82),
+            scrambled=True, _builder=_audikw,
+        ),
+        SuiteEntry(
+            "dielFilterV3real", "dielFilterV3real",
+            "higher-order finite element (heavy, elongated)",
+            PaperStats(1_100_000, 89_300_000, 1_036_475, 23_813, 84),
+            scrambled=True, _builder=_dielfilter,
+        ),
+        SuiteEntry(
+            "flan_1565", "Flan_1565",
+            "3D steel flange (already banded: RCM-ineffective, huge diameter)",
+            PaperStats(1_600_000, 114_000_000, 20_702, 20_600, 199),
+            scrambled=False, _builder=_flan,
+        ),
+        SuiteEntry(
+            "li7nmax6", "Li7Nmax6",
+            "nuclear CI (near-clique blocks: tiny diameter, heavy rows)",
+            PaperStats(664_000, 212_000_000, 663_498, 490_000, 7),
+            scrambled=False, _builder=_li7nmax6,
+        ),
+        SuiteEntry(
+            "nm7", "Nm7",
+            "nuclear CI, larger (tiny diameter, heaviest rows)",
+            PaperStats(4_000_000, 437_000_000, 4_073_382, 3_692_599, 5),
+            scrambled=False, _builder=_nm7,
+        ),
+        SuiteEntry(
+            "nlpkkt240", "nlpkkt240",
+            "symmetric indefinite KKT (largest, high diameter)",
+            PaperStats(78_000_000, 760_000_000, 14_169_841, 361_755, 243),
+            scrambled=True, _builder=_nlpkkt,
+        ),
+    )
+}
+
+
+def build_suite(scale: float = 1.0, names: list[str] | None = None) -> dict[str, CSRMatrix]:
+    """Build surrogates for the requested suite entries."""
+    chosen = names if names is not None else list(PAPER_SUITE)
+    out = {}
+    for name in chosen:
+        if name not in PAPER_SUITE:
+            raise KeyError(f"unknown suite matrix {name!r}; have {list(PAPER_SUITE)}")
+        out[name] = PAPER_SUITE[name].build(scale)
+    return out
+
+
+def thermal2_like(scale: float = 1.0) -> CSRMatrix:
+    """Surrogate of thermal2 (Fig. 1): scrambled 2D thermal FEM mesh.
+
+    thermal2 has n = 1.2M, nnz = 4.9M, pre-RCM bandwidth 1,226,000 (~n)
+    and post-RCM bandwidth 795 (~sqrt(n)); a scrambled square 5-point
+    mesh reproduces exactly that profile at laptop scale.
+    """
+    s = _dim(60, scale)
+    A = stencil_2d(s, s, points=5)
+    rng = np.random.default_rng(0x7EE)
+    perm = rng.permutation(A.nrows).astype(np.int64)
+    return permute_symmetric(A, perm)

@@ -1,0 +1,26 @@
+"""Semiring algebra substrate: semirings and SpMSpV kernels."""
+
+from .semiring import (
+    BOOLEAN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    SELECT2ND_MAX,
+    SELECT2ND_MIN,
+    STANDARD_SEMIRINGS,
+    Semiring,
+)
+from .spmspv import spmspv_csc, spmspv_csr, spmspv_work, spmv_dense
+
+__all__ = [
+    "Semiring",
+    "SELECT2ND_MIN",
+    "SELECT2ND_MAX",
+    "BOOLEAN",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "STANDARD_SEMIRINGS",
+    "spmspv_csc",
+    "spmspv_csr",
+    "spmspv_work",
+    "spmv_dense",
+]

@@ -1,0 +1,140 @@
+"""Semiring abstraction for sparse matrix-vector algebra.
+
+A semiring redefines "multiply" and "add" in ``y = A x`` (paper,
+Section III.A).  For BFS-style traversals the multiply is ``select2nd``
+(propagate the vector payload to the neighbor) and the add is ``min``
+(a child attaches to the parent with the *minimum label*), which is what
+makes the paper's frontier expansion deterministic.
+
+Semirings here operate on *vectorized* numpy arrays, not scalars: the
+kernels in :mod:`repro.semiring.spmspv` call ``multiply(a_vals, x_vals)``
+on whole gathered-column segments and reduce with ``np.minimum.reduceat``
+-style grouped operations.  Each semiring therefore carries its numpy
+ufunc for the add so kernels can reduce without a Python-level loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "SELECT2ND_MIN",
+    "SELECT2ND_MAX",
+    "BOOLEAN",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "STANDARD_SEMIRINGS",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring ``(add, multiply, identity)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"(select2nd, min)"``.
+    add_ufunc:
+        A numpy binary ufunc implementing the semiring addition; must
+        support ``reduce``/``reduceat`` (e.g. ``np.minimum``).
+    multiply:
+        Vectorized binary operation ``multiply(matrix_vals, vector_vals)``
+        returning the products array.
+    add_identity:
+        Identity element of the addition (e.g. ``+inf`` for ``min``).
+    commutative_add:
+        All semirings used here have commutative addition; recorded for
+        documentation and property tests.
+    """
+
+    name: str
+    add_ufunc: np.ufunc
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_identity: float
+    commutative_add: bool = True
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.add_ufunc(a, b)
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Fold ``values`` with the semiring addition (identity if empty)."""
+        if values.size == 0:
+            return self.add_identity
+        return float(self.add_ufunc.reduce(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+def _select2nd(a_vals: np.ndarray, x_vals: np.ndarray) -> np.ndarray:
+    """The BFS multiply: ignore the matrix value, pass the vector payload.
+
+    The matrix elements are conceptually binary (pattern) and the vector
+    elements are integers/labels (paper, Section III.A): ``select2nd``
+    returns the second operand.
+    """
+    del a_vals
+    return x_vals
+
+
+def _times(a_vals: np.ndarray, x_vals: np.ndarray) -> np.ndarray:
+    return a_vals * x_vals
+
+
+def _plus(a_vals: np.ndarray, x_vals: np.ndarray) -> np.ndarray:
+    return a_vals + x_vals
+
+
+def _logical_and(a_vals: np.ndarray, x_vals: np.ndarray) -> np.ndarray:
+    return np.where((a_vals != 0) & (x_vals != 0), 1.0, 0.0)
+
+
+#: The paper's BFS semiring: child attaches to the minimum-label parent.
+SELECT2ND_MIN = Semiring(
+    name="(select2nd, min)",
+    add_ufunc=np.minimum,
+    multiply=_select2nd,
+    add_identity=np.inf,
+)
+
+#: Variant used in tests/ablations: maximum-label parent instead.
+SELECT2ND_MAX = Semiring(
+    name="(select2nd, max)",
+    add_ufunc=np.maximum,
+    multiply=_select2nd,
+    add_identity=-np.inf,
+)
+
+#: Boolean reachability semiring (or, and).
+BOOLEAN = Semiring(
+    name="(and, or)",
+    add_ufunc=np.logical_or,
+    multiply=_logical_and,
+    add_identity=0.0,
+)
+
+#: Conventional arithmetic semiring (times, plus).
+PLUS_TIMES = Semiring(
+    name="(times, plus)",
+    add_ufunc=np.add,
+    multiply=_times,
+    add_identity=0.0,
+)
+
+#: Tropical shortest-path semiring (plus, min).
+MIN_PLUS = Semiring(
+    name="(plus, min)",
+    add_ufunc=np.minimum,
+    multiply=_plus,
+    add_identity=np.inf,
+)
+
+STANDARD_SEMIRINGS: dict[str, Semiring] = {
+    s.name: s
+    for s in (SELECT2ND_MIN, SELECT2ND_MAX, BOOLEAN, PLUS_TIMES, MIN_PLUS)
+}

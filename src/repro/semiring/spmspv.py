@@ -1,0 +1,165 @@
+"""Sequential sparse matrix-sparse vector multiplication over a semiring.
+
+``SPMSPV(A, x, SR)`` (paper, Table I) is the workhorse of the algebraic
+RCM formulation: one call per BFS step discovers the next frontier.  Two
+kernels are provided:
+
+* :func:`spmspv_csc` — the paper's choice.  Only the columns of ``A``
+  selected by the nonzeros of ``x`` are touched, so the work is
+  ``sum_k nnz(A(:, k))`` for ``k`` in ``IND(x)``.
+* :func:`spmspv_csr` — the comparison point for the CSC-vs-CSR ablation
+  (paper, Section IV.A: "we use the CSC format as we found it to be the
+  fastest for the SpMSpV operation with very sparse vectors").  A CSR
+  kernel must intersect every candidate row with the input vector, which
+  is slower when ``nnz(x) << n``.
+
+Both kernels support an optional dense boolean ``mask`` that suppresses
+output rows (the fused form of the SELECT-by-unvisited step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.spvector import SparseVector
+from .semiring import Semiring
+
+__all__ = ["spmspv_csc", "spmspv_csr", "spmspv_work", "spmv_dense"]
+
+
+def spmspv_work(A: CSCMatrix, x: SparseVector) -> int:
+    """Number of scalar semiring operations ``spmspv_csc`` will perform.
+
+    Equals ``sum_{k in IND(x)} nnz(A(:, k))`` — the serial complexity in
+    Table I — and is used by the machine model to charge compute time.
+    """
+    if x.nnz == 0:
+        return 0
+    return int(np.sum(A.indptr[x.indices + 1] - A.indptr[x.indices]))
+
+
+def _group_reduce(
+    rows: np.ndarray, products: np.ndarray, sr: Semiring
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce ``products`` that share a row index with the semiring add.
+
+    Returns sorted unique row indices and their reduced values.
+    """
+    order = np.argsort(rows, kind="stable")
+    rows_sorted = rows[order]
+    prods_sorted = products[order]
+    boundary = np.empty(rows_sorted.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(rows_sorted[1:], rows_sorted[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    reduced = sr.add_ufunc.reduceat(prods_sorted, starts)
+    return rows_sorted[starts], np.asarray(reduced, dtype=np.float64)
+
+
+def spmspv_csc(
+    A: CSCMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+) -> SparseVector:
+    """``y = A x`` over semiring ``sr`` using column gathers (CSC kernel).
+
+    Parameters
+    ----------
+    A:
+        ``nrows x ncols`` sparse matrix in CSC.
+    x:
+        Sparse input of length ``ncols``; payloads feed the semiring
+        multiply.
+    sr:
+        The semiring; for BFS use ``SELECT2ND_MIN``.
+    mask:
+        Optional dense boolean array of length ``nrows``; rows where the
+        mask is False are dropped from the output (fused SELECT).
+    """
+    if x.n != A.ncols:
+        raise ValueError("dimension mismatch between matrix and vector")
+    if x.nnz == 0:
+        return SparseVector.empty(A.nrows)
+
+    rows, avals, offsets = A.gather_columns(x.indices)
+    if rows.size == 0:
+        return SparseVector.empty(A.nrows)
+    # expand x payloads across each gathered column segment
+    seg_lens = np.diff(offsets)
+    xvals = np.repeat(x.values, seg_lens)
+    products = np.asarray(sr.multiply(avals, xvals), dtype=np.float64)
+
+    if mask is not None:
+        keep = mask[rows]
+        rows, products = rows[keep], products[keep]
+        if rows.size == 0:
+            return SparseVector.empty(A.nrows)
+
+    uniq_rows, reduced = _group_reduce(rows, products, sr)
+    return SparseVector(A.nrows, uniq_rows, reduced)
+
+
+def spmspv_csr(
+    A: CSRMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+) -> SparseVector:
+    """``y = A x`` over semiring ``sr`` using a row-major (CSR) kernel.
+
+    For every candidate output row the kernel intersects the row pattern
+    with the nonzeros of ``x`` — O(nnz(A)) regardless of ``nnz(x)`` in the
+    unmasked dense-scan form used here.  Exists to quantify the paper's
+    CSC-storage design choice; results are identical to
+    :func:`spmspv_csc`.
+    """
+    if x.n != A.ncols:
+        raise ValueError("dimension mismatch between matrix and vector")
+    if x.nnz == 0:
+        return SparseVector.empty(A.nrows)
+
+    x_dense = np.full(A.ncols, np.nan)
+    x_dense[x.indices] = x.values
+    present = np.zeros(A.ncols, dtype=bool)
+    present[x.indices] = True
+
+    hits = present[A.indices]
+    if not hits.any():
+        return SparseVector.empty(A.nrows)
+    row_of_entry = np.repeat(
+        np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr)
+    )
+    rows = row_of_entry[hits]
+    avals = A.data[hits]
+    xvals = x_dense[A.indices[hits]]
+    products = np.asarray(sr.multiply(avals, xvals), dtype=np.float64)
+
+    if mask is not None:
+        keep = mask[rows]
+        rows, products = rows[keep], products[keep]
+        if rows.size == 0:
+            return SparseVector.empty(A.nrows)
+
+    uniq_rows, reduced = _group_reduce(rows, products, sr)
+    return SparseVector(A.nrows, uniq_rows, reduced)
+
+
+def spmv_dense(A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
+    """Dense-vector semiring product ``y = A x`` (used in tests/solvers).
+
+    Rows with no nonzeros map to the semiring's additive identity.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (A.ncols,):
+        raise ValueError("dimension mismatch")
+    out = np.full(A.nrows, sr.add_identity, dtype=np.float64)
+    if A.nnz == 0:
+        return out
+    products = np.asarray(sr.multiply(A.data, x[A.indices]), dtype=np.float64)
+    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+    uniq, reduced = _group_reduce(rows, products, sr)
+    out[uniq] = reduced
+    return out

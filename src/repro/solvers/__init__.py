@@ -1,0 +1,26 @@
+"""Iterative-solver substrate: CG, block Jacobi, distributed SpMV model.
+
+Supports the Fig. 1 reproduction (RCM vs natural ordering effect on a
+preconditioned CG solve at increasing core counts).
+"""
+
+from .cg import CGResult, conjugate_gradient
+from .distspmv import SpMVCommPlan, analyze_spmv_communication, spmv_iteration_time
+from .jacobi import BlockJacobiPreconditioner, block_coverage
+from .skyline import SkylineCholesky, envelope_storage
+from .solve_model import SolveTimePoint, laplacian_like_values, model_cg_solve
+
+__all__ = [
+    "conjugate_gradient",
+    "CGResult",
+    "BlockJacobiPreconditioner",
+    "block_coverage",
+    "analyze_spmv_communication",
+    "SpMVCommPlan",
+    "spmv_iteration_time",
+    "model_cg_solve",
+    "SolveTimePoint",
+    "laplacian_like_values",
+    "SkylineCholesky",
+    "envelope_storage",
+]

@@ -1,0 +1,75 @@
+"""Block Jacobi preconditioner (the PETSc setting of Fig. 1).
+
+PETSc's block Jacobi with ``p`` processes uses one block per process:
+the diagonal block of each rank's contiguous row range is factorized and
+applied locally.  The preconditioner's strength therefore depends on the
+*ordering*: RCM clusters nonzeros near the diagonal, so more of the
+matrix falls inside the diagonal blocks and CG converges in fewer
+iterations — one of the two mechanisms (with communication locality)
+behind Fig. 1's growing RCM advantage at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.grid import block_range
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["BlockJacobiPreconditioner", "block_coverage"]
+
+
+class BlockJacobiPreconditioner:
+    """``M^{-1}`` formed from dense factorizations of diagonal blocks."""
+
+    def __init__(self, A: CSRMatrix, nblocks: int, *, regularize: float = 0.0) -> None:
+        if A.nrows != A.ncols:
+            raise ValueError("block Jacobi needs a square matrix")
+        if nblocks < 1 or nblocks > max(A.nrows, 1):
+            raise ValueError("invalid block count")
+        self.n = A.nrows
+        self.nblocks = nblocks
+        self._ranges: list[tuple[int, int]] = []
+        self._factors: list[tuple[np.ndarray, np.ndarray]] = []
+        from scipy.linalg import lu_factor
+
+        for b in range(nblocks):
+            lo, hi = block_range(A.nrows, nblocks, b)
+            self._ranges.append((lo, hi))
+            block = A.extract_block(lo, hi, lo, hi).to_dense()
+            if regularize:
+                block = block + regularize * np.eye(hi - lo)
+            lu, piv = lu_factor(block)
+            self._factors.append((lu, piv))
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """``z = M^{-1} r`` block by block."""
+        from scipy.linalg import lu_solve
+
+        r = np.asarray(r, dtype=np.float64)
+        if r.shape != (self.n,):
+            raise ValueError("vector has the wrong shape")
+        z = np.empty_like(r)
+        for (lo, hi), fac in zip(self._ranges, self._factors):
+            z[lo:hi] = lu_solve(fac, r[lo:hi])
+        return z
+
+    __call__ = apply
+
+
+def block_coverage(A: CSRMatrix, nblocks: int) -> float:
+    """Fraction of nonzeros captured inside the diagonal blocks.
+
+    A direct measure of how well an ordering suits block Jacobi: RCM
+    pushes this toward 1, natural/scrambled orderings toward 1/nblocks.
+    """
+    if A.nnz == 0:
+        return 1.0
+    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+    offsets = np.array(
+        [block_range(A.nrows, nblocks, b)[0] for b in range(nblocks)] + [A.nrows],
+        dtype=np.int64,
+    )
+    row_block = np.searchsorted(offsets, rows, side="right") - 1
+    col_block = np.searchsorted(offsets, A.indices, side="right") - 1
+    return float(np.mean(row_block == col_block))

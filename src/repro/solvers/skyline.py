@@ -1,0 +1,140 @@
+"""Envelope (skyline) Cholesky — the direct-solver payoff of RCM.
+
+The paper's opening motivation: "a matrix with a small profile is useful
+in direct methods for solving sparse linear systems since it allows a
+simple data structure to be used."  That data structure is the envelope
+(skyline) format: row ``i`` stores the contiguous segment from its first
+nonzero column ``f_i`` to the diagonal.  Cholesky factorization fills in
+*only inside the envelope* (George & Liu, 1981), so
+
+* storage = ``n + profile(A)`` and
+* factorization work ~ ``sum_i beta_i^2``
+
+— both minimized by exactly the profile reduction RCM performs.  This
+module implements the classic bordering-method envelope Cholesky and the
+accompanying triangular solves, so the benefit of an ordering can be
+measured end-to-end on a real direct solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import row_bandwidths
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["SkylineCholesky", "envelope_storage"]
+
+
+def envelope_storage(A: CSRMatrix) -> int:
+    """Stored entries of the skyline format: diagonal + envelope."""
+    return A.nrows + int(row_bandwidths(A).sum())
+
+
+class SkylineCholesky:
+    """Envelope Cholesky factorization ``A = L L^T`` of an SPD matrix.
+
+    Parameters
+    ----------
+    A:
+        Square SPD matrix in CSR.  The factor is stored in skyline form:
+        jagged rows ``L[i, f_i:i]`` plus the diagonal — fill-in outside
+        the envelope never occurs, which is the whole point.
+
+    Raises
+    ------
+    np.linalg.LinAlgError
+        If a nonpositive pivot appears (matrix not SPD).
+    """
+
+    def __init__(self, A: CSRMatrix) -> None:
+        if A.nrows != A.ncols:
+            raise ValueError("Cholesky needs a square matrix")
+        n = A.nrows
+        beta = row_bandwidths(A)
+        first = np.arange(n, dtype=np.int64) - beta  # f_i
+        # jagged row storage offsets: row i occupies [offsets[i], offsets[i+1])
+        offsets = np.concatenate([[0], np.cumsum(beta)]).astype(np.int64)
+        rows = np.zeros(int(offsets[-1]), dtype=np.float64)
+        diag = np.zeros(n, dtype=np.float64)
+
+        # scatter A into the skyline workspace
+        for i in range(n):
+            cols = A.row(i)
+            vals = A.row_values(i)
+            for c, v in zip(cols, vals):
+                if c == i:
+                    diag[i] = v
+                elif c < i:
+                    rows[offsets[i] + (c - first[i])] = v
+
+        # bordering method: factor row by row
+        flops = 0
+        for i in range(n):
+            fi = first[i]
+            li = rows[offsets[i] : offsets[i + 1]]  # columns fi .. i-1
+            for j in range(fi, i):
+                fj = first[j]
+                lo = max(fi, fj)
+                # dot of L[i, lo:j] and L[j, lo:j]
+                a = li[lo - fi : j - fi]
+                b = rows[offsets[j] + (lo - fj) : offsets[j] + (j - fj)]
+                s = float(a @ b) if a.size else 0.0
+                flops += 2 * a.size + 2
+                li[j - fi] = (li[j - fi] - s) / diag[j]
+            pivot = diag[i] - float(li @ li)
+            flops += 2 * li.size
+            if pivot <= 0.0:
+                raise np.linalg.LinAlgError(
+                    f"nonpositive pivot at row {i}: matrix is not SPD"
+                )
+            diag[i] = np.sqrt(pivot)
+
+        self.n = n
+        self._first = first
+        self._offsets = offsets
+        self._rows = rows
+        self._diag = diag
+        #: Stored entries of the factor (the paper's storage argument).
+        self.storage = int(offsets[-1]) + n
+        #: Floating-point operations the factorization performed.
+        self.flops = flops
+
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` by forward + backward substitution."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise ValueError("right-hand side has the wrong shape")
+        first, offsets, rows, diag = (
+            self._first,
+            self._offsets,
+            self._rows,
+            self._diag,
+        )
+        # forward: L y = b
+        y = b.copy()
+        for i in range(self.n):
+            fi = first[i]
+            li = rows[offsets[i] : offsets[i + 1]]
+            if li.size:
+                y[i] -= float(li @ y[fi:i])
+            y[i] /= diag[i]
+        # backward: L^T x = y
+        x = y
+        for i in range(self.n - 1, -1, -1):
+            x[i] /= diag[i]
+            fi = first[i]
+            li = rows[offsets[i] : offsets[i + 1]]
+            if li.size:
+                x[fi:i] -= li * x[i]
+        return x
+
+    def factor_dense(self) -> np.ndarray:
+        """The full lower-triangular factor as a dense array (tests)."""
+        L = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            fi = self._first[i]
+            L[i, fi:i] = self._rows[self._offsets[i] : self._offsets[i + 1]]
+            L[i, i] = self._diag[i]
+        return L

@@ -1,0 +1,37 @@
+"""Sparse-matrix substrate: COO/CSR/CSC formats, sparse vectors, I/O.
+
+Everything here is implemented from scratch (no scipy.sparse dependency) so
+the distributed layer controls its own storage layout, exactly as the
+paper's CombBLAS substrate does.
+"""
+
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .io import read_matrix_market, write_matrix_market
+from .permute import (
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+    random_symmetric_permutation,
+)
+from .spvector import SparseVector
+from .symmetry import is_structurally_symmetric, strip_to_pattern, symmetrize
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "SparseVector",
+    "read_matrix_market",
+    "write_matrix_market",
+    "is_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "permute_symmetric",
+    "random_symmetric_permutation",
+    "is_structurally_symmetric",
+    "symmetrize",
+    "strip_to_pattern",
+]

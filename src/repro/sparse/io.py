@@ -1,0 +1,126 @@
+"""Matrix Market I/O.
+
+The paper's matrix suite is distributed in Matrix Market format by the
+UF/SuiteSparse collection; this module lets users run the pipeline on real
+collection files when they have them, and round-trips the synthetic
+surrogates in :mod:`repro.matrices.suite`.
+
+Supported: ``matrix coordinate {real,integer,pattern} {general,symmetric}``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def _open_maybe(path_or_file, mode: str) -> tuple[TextIO, bool]:
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_matrix_market(path_or_file) -> COOMatrix:
+    """Read a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    ``symmetric`` files are expanded (each off-diagonal entry mirrored), so
+    the returned matrix is structurally symmetric and directly usable as an
+    adjacency matrix.
+    """
+    fh, should_close = _open_maybe(path_or_file, "r")
+    try:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError("not a MatrixMarket file (bad banner)")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"malformed MatrixMarket banner: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt = obj.lower(), fmt.lower()
+        field, symmetry = field.lower(), symmetry.lower()
+        if obj != "matrix" or fmt != "coordinate":
+            raise ValueError(f"unsupported MatrixMarket type: {obj} {fmt}")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry: {symmetry}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise ValueError(f"malformed size line: {line!r}")
+        nrows, ncols, nnz = (int(x) for x in dims)
+
+        body = fh.read()
+    finally:
+        if should_close:
+            fh.close()
+
+    if nnz == 0:
+        return COOMatrix.empty(nrows, ncols)
+
+    table = np.loadtxt(io.StringIO(body), ndmin=2)
+    if table.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {table.shape[0]}")
+    rows = table[:, 0].astype(np.int64) - 1
+    cols = table[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz, dtype=np.float64)
+    else:
+        if table.shape[1] < 3:
+            raise ValueError("real/integer file missing value column")
+        vals = table[:, 2].astype(np.float64)
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows, cols = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+        )
+        vals = np.concatenate([vals, vals[off]])
+
+    return COOMatrix(nrows, ncols, rows, cols, vals)
+
+
+def write_matrix_market(
+    path_or_file, matrix: COOMatrix, *, field: str = "real", symmetric: bool = False
+) -> None:
+    """Write a :class:`COOMatrix` in coordinate format.
+
+    With ``symmetric=True`` only the lower triangle (including diagonal) is
+    written and the header declares ``symmetric``; the matrix must be
+    structurally symmetric for this to round-trip.
+    """
+    if field not in ("real", "pattern"):
+        raise ValueError("field must be 'real' or 'pattern'")
+    matrix = matrix.coalesce()
+    rows, cols, vals = matrix.rows, matrix.cols, matrix.vals
+    if symmetric:
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    sym = "symmetric" if symmetric else "general"
+    fh, should_close = _open_maybe(path_or_file, "w")
+    try:
+        fh.write(f"{_HEADER_PREFIX} matrix coordinate {field} {sym}\n")
+        fh.write("% written by repro (distributed-memory RCM reproduction)\n")
+        fh.write(f"{matrix.nrows} {matrix.ncols} {rows.size}\n")
+        if field == "pattern":
+            for r, c in zip(rows, cols):
+                fh.write(f"{r + 1} {c + 1}\n")
+        else:
+            for r, c, v in zip(rows, cols, vals):
+                fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if should_close:
+            fh.close()

@@ -1,0 +1,131 @@
+"""Sparse vectors in CombBLAS style: parallel ``{index, value}`` arrays.
+
+A sparse vector represents a *subset of vertices* (paper, Section III.A):
+each nonzero index is a member vertex and the stored value carries
+algorithm-dependent payload (a label, a parent order, a level number).
+Indices are kept sorted ascending and unique; this makes every primitive
+in Table I deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """A length-``n`` sparse vector over float64 payloads.
+
+    Attributes
+    ----------
+    n:
+        Logical (dense) length.
+    indices:
+        Sorted, unique ``int64`` nonzero positions.
+    values:
+        ``float64`` payloads parallel to ``indices``.
+    """
+
+    __slots__ = ("n", "indices", "values")
+
+    def __init__(self, n: int, indices: np.ndarray, values: np.ndarray) -> None:
+        self.n = int(n)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise ValueError("indices and values must be parallel 1-D arrays")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.n:
+                raise ValueError("sparse vector index out of range")
+            if np.any(np.diff(indices) <= 0):
+                raise ValueError("indices must be strictly increasing (sorted, unique)")
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n: int) -> "SparseVector":
+        return cls(n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def from_pairs(cls, n: int, indices, values) -> "SparseVector":
+        """Build from possibly unsorted pairs; duplicate indices are rejected."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        order = np.argsort(indices, kind="stable")
+        indices, values = indices[order], values[order]
+        if indices.size and np.any(np.diff(indices) == 0):
+            raise ValueError("duplicate indices in sparse vector")
+        return cls(n, indices, values)
+
+    @classmethod
+    def single(cls, n: int, index: int, value: float = 0.0) -> "SparseVector":
+        """A singleton vector {index: value} — e.g. the BFS root frontier."""
+        return cls(
+            n,
+            np.array([index], dtype=np.int64),
+            np.array([value], dtype=np.float64),
+        )
+
+    @classmethod
+    def from_dense_mask(cls, mask: np.ndarray, values: np.ndarray) -> "SparseVector":
+        """Nonzeros at ``mask`` positions taking payloads from ``values``."""
+        idx = np.flatnonzero(mask).astype(np.int64)
+        return cls(mask.size, idx, np.asarray(values, dtype=np.float64)[idx])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def is_empty(self) -> bool:
+        return self.nnz == 0
+
+    def to_dense(self, fill: float = 0.0) -> np.ndarray:
+        out = np.full(self.n, fill, dtype=np.float64)
+        out[self.indices] = self.values
+        return out
+
+    def copy(self) -> "SparseVector":
+        return SparseVector(self.n, self.indices.copy(), self.values.copy())
+
+    def nbytes(self) -> int:
+        """Wire size of the vector: one (int64, float64) pair per nonzero."""
+        return self.nnz * 16
+
+    # ------------------------------------------------------------------
+    # Algebra used by the primitives
+    # ------------------------------------------------------------------
+    def with_values(self, values: np.ndarray) -> "SparseVector":
+        """Same structure, new payloads."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.indices.shape:
+            raise ValueError("payload array must match nnz")
+        return SparseVector(self.n, self.indices.copy(), values.copy())
+
+    def restrict(self, keep_mask: np.ndarray) -> "SparseVector":
+        """Keep only nonzeros where ``keep_mask`` (parallel to nnz) is true."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.indices.shape:
+            raise ValueError("mask must be parallel to the nonzeros")
+        return SparseVector(self.n, self.indices[keep_mask], self.values[keep_mask])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("SparseVector is mutable-adjacent and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseVector(n={self.n}, nnz={self.nnz})"

@@ -1,0 +1,53 @@
+"""ASCII spy plots: visualize sparsity structure in the terminal.
+
+The paper's Fig. 3 shows spy plots of each suite matrix; this renders the
+same visualization without a plotting dependency.  Each character cell
+aggregates a block of the matrix; density is mapped to a ramp of glyphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["spy"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def spy(A: CSRMatrix, width: int = 48) -> str:
+    """Render the nonzero pattern of ``A`` as ASCII art.
+
+    ``width`` is the number of character cells per side (the matrix is
+    shown square; rows aggregate ``ceil(n/width)`` matrix rows each).
+    """
+    if A.nrows == 0 or A.ncols == 0:
+        return "(empty matrix)"
+    width = max(1, min(width, max(A.nrows, A.ncols)))
+    cell_r = max(A.nrows / width, 1e-12)
+    cell_c = max(A.ncols / width, 1e-12)
+
+    counts = np.zeros((width, width), dtype=np.int64)
+    if A.nnz:
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
+        ri = np.minimum((rows / cell_r).astype(np.int64), width - 1)
+        ci = np.minimum((A.indices / cell_c).astype(np.int64), width - 1)
+        np.add.at(counts, (ri, ci), 1)
+
+    peak = counts.max()
+    lines = []
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for r in range(width):
+        chars = []
+        for c in range(width):
+            if counts[r, c] == 0:
+                chars.append(" ")
+            else:
+                level = int(counts[r, c] / peak * (len(_RAMP) - 1))
+                chars.append(_RAMP[max(level, 1)])
+        lines.append("|" + "".join(chars) + "|")
+    lines.append(border)
+    lines.append(f"n={A.nrows}, nnz={A.nnz}")
+    return "\n".join(lines)

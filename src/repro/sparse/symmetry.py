@@ -1,0 +1,52 @@
+"""Structural symmetry utilities.
+
+RCM is defined on symmetric matrices (paper, Section II.A).  Real inputs
+are frequently only *numerically* unsymmetric or carry an unsymmetric
+pattern; the standard remedy — also used by SuiteSparse tooling — is to
+order the symmetrized pattern ``A + A^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["is_structurally_symmetric", "symmetrize", "strip_to_pattern"]
+
+
+def is_structurally_symmetric(matrix: CSRMatrix) -> bool:
+    """True when the nonzero *pattern* of ``matrix`` equals its transpose's."""
+    if matrix.nrows != matrix.ncols:
+        return False
+    t = matrix.transpose()
+    return (
+        np.array_equal(matrix.indptr, t.indptr)
+        and np.array_equal(matrix.indices, t.indices)
+    )
+
+
+def symmetrize(matrix: CSRMatrix) -> CSRMatrix:
+    """The structural symmetrization ``pattern(A + A^T)`` with unit values."""
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("only square matrices can be symmetrized")
+    coo = matrix.to_coo()
+    rows = np.concatenate([coo.rows, coo.cols])
+    cols = np.concatenate([coo.cols, coo.rows])
+    vals = np.ones(rows.size, dtype=np.float64)
+    merged = COOMatrix(matrix.nrows, matrix.ncols, rows, cols, vals).coalesce()
+    # collapse summed duplicates back to unit pattern values
+    merged.vals[:] = 1.0
+    return CSRMatrix.from_coo(merged)
+
+
+def strip_to_pattern(matrix: CSRMatrix) -> CSRMatrix:
+    """Replace all stored values with 1.0 (the graph only sees the pattern)."""
+    return CSRMatrix(
+        matrix.nrows,
+        matrix.ncols,
+        matrix.indptr.copy(),
+        matrix.indices.copy(),
+        np.ones(matrix.nnz, dtype=np.float64),
+    )

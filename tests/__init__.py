@@ -1,0 +1,1 @@
+"""Test package (presence makes `tests.conftest` importable under plain pytest)."""

@@ -1,0 +1,130 @@
+"""Smoke tests of the experiment harness: every experiment runs and
+produces the expected headline shape at tiny scale."""
+
+import re
+
+import pytest
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    run_balance_ablation,
+    run_csc_ablation,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_gather,
+    run_semiring_ablation,
+    run_sort_ablation,
+    run_table2,
+)
+
+TINY = dict(scale=0.45, quick=True, names=["ldoor", "serena"])
+
+
+def test_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "fig1",
+        "fig3",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "gather",
+        "sort-ablation",
+        "csc-ablation",
+        "balance-ablation",
+        "semiring-ablation",
+        "skyline",
+        "quality",
+    }
+
+
+def test_fig1_report_shape():
+    out = run_fig1(scale=0.5, quick=True)
+    assert "Fig. 1" in out
+    # last speedup column should exceed the first (advantage grows)
+    speedups = [
+        float(line.split("|")[-1]) for line in out.splitlines() if line.strip().startswith(("1 ", "4 ", "16 ", "64 "))
+    ]
+    assert speedups[-1] >= speedups[0]
+
+
+def test_fig3_contains_paper_columns():
+    out = run_fig3(**TINY)
+    assert "paper ratio" in out and "ldoor" in out
+
+
+def test_table2_runs():
+    out = run_table2(**TINY)
+    assert "SpMP" in out and "dist" in out
+
+
+def test_fig4_reports_five_regions():
+    out = run_fig4(**TINY)
+    for col in ("periph spmspv", "periph other", "order spmspv", "order sort", "order other"):
+        assert col in out
+
+
+def test_fig5_reports_split():
+    out = run_fig5(**TINY)
+    assert "computation s" in out and "communication s" in out
+
+
+def test_fig6_flat_vs_hybrid():
+    out = run_fig6(scale=0.45, quick=True)
+    assert "flat MPI" in out and "hybrid" in out
+
+
+def test_gather_report():
+    out = run_gather(scale=0.45, quick=True)
+    assert "gather pipeline total" in out
+    assert "distributed RCM total" in out
+
+
+def test_sort_ablation_identical_orderings():
+    out = run_sort_ablation(scale=0.45, quick=True, names=["serena"])
+    assert "True" in out  # same-ordering column
+
+
+def test_csc_ablation_runs():
+    out = run_csc_ablation(scale=0.45, quick=True, names=["serena"])
+    assert "CSR/CSC" in out
+
+
+def test_balance_ablation_runs():
+    out = run_balance_ablation(scale=0.45, quick=True, names=["serena"])
+    assert "random permuted" in out
+
+
+def test_semiring_ablation_runs():
+    out = run_semiring_ablation(scale=0.45, quick=True, names=["serena"])
+    assert "bw (min parent)" in out
+
+
+def test_cli_main():
+    from repro.bench.cli import main
+
+    assert main(["fig3", "--quick", "--scale", "0.45", "--matrices", "serena"]) == 0
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.bench.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_skyline_extension_runs():
+    from repro.bench.harness import run_skyline
+
+    out = run_skyline(scale=0.8, quick=True)
+    assert "factor storage" in out
+
+
+def test_quality_extension_runs():
+    from repro.bench.harness import run_quality
+
+    out = run_quality(scale=0.5, quick=True, names=["serena"])
+    assert "GPS" in out and "Sloan" in out

@@ -1,0 +1,65 @@
+"""Reporting and breakdown helper tests."""
+
+import pytest
+
+from repro.bench import RCMBreakdown, banner, breakdown_from_ledger, format_kv, format_table
+from repro.machine import CostLedger
+
+
+def test_format_table_aligns():
+    out = format_table(["a", "bbb"], [[1, 2.5], [10, 0.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_table_scientific_for_extremes():
+    out = format_table(["x"], [[1.5e-7]])
+    assert "e-07" in out
+
+
+def test_format_kv():
+    out = format_kv({"alpha": 1, "bb": 2.0}, title="K")
+    lines = out.splitlines()
+    assert lines[0] == "K"
+    assert lines[1].startswith("alpha")
+
+
+def test_banner():
+    out = banner("hello")
+    lines = out.splitlines()
+    assert lines[0] == "=" * 10 and lines[1] == "hello"
+
+
+def test_breakdown_from_ledger_maps_regions():
+    ledger = CostLedger()
+    ledger.charge_compute("peripheral:spmspv", 1.0)
+    ledger.charge_comm("peripheral:spmspv", 0.5)
+    ledger.charge_compute("ordering:sort", 2.0)
+    ledger.charge_comm("ordering:spmspv", 0.25)
+    b = breakdown_from_ledger(ledger)
+    assert b.peripheral_spmspv == 1.5
+    assert b.ordering_sort == 2.0
+    assert b.ordering_spmspv == 0.25
+    assert b.total == pytest.approx(3.75)
+
+
+def test_breakdown_comm_split():
+    ledger = CostLedger()
+    ledger.charge_compute("ordering:spmspv", 1.0)
+    ledger.charge_comm("ordering:spmspv", 2.0)
+    ledger.charge_compute("peripheral:spmspv", 0.5)
+    b = breakdown_from_ledger(ledger)
+    assert b.spmspv_compute == 1.5
+    assert b.spmspv_comm == 2.0
+
+
+def test_breakdown_as_row_order():
+    b = RCMBreakdown(1, 2, 3, 4, 5, 0, 0)
+    assert b.as_row() == [1, 2, 3, 4, 5]
+    assert b.total == 15

@@ -1,0 +1,107 @@
+"""BFS utilities tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import bfs_levels, bfs_parents, gather_rows, level_sets
+from tests.conftest import csr_from_edges
+
+
+def test_path_levels(path5):
+    levels, nlv = bfs_levels(path5, 0)
+    assert np.array_equal(levels, [0, 1, 2, 3, 4])
+    assert nlv == 5
+
+
+def test_path_levels_from_middle(path5):
+    levels, nlv = bfs_levels(path5, 2)
+    assert np.array_equal(levels, [2, 1, 0, 1, 2])
+    assert nlv == 3
+
+
+def test_cycle_levels(cycle6):
+    levels, nlv = bfs_levels(cycle6, 0)
+    assert np.array_equal(levels, [0, 1, 2, 3, 2, 1])
+    assert nlv == 4
+
+
+def test_star_levels(star7):
+    levels, nlv = bfs_levels(star7, 0)
+    assert levels[0] == 0
+    assert np.all(levels[1:] == 1)
+    assert nlv == 2
+
+
+def test_unreachable_marked_minus_one(two_components):
+    levels, _ = bfs_levels(two_components, 0)
+    assert np.all(levels[3:] == -1)
+    assert np.all(levels[:3] >= 0)
+
+
+def test_single_vertex_graph():
+    A = csr_from_edges(1, np.empty((0, 2)))
+    levels, nlv = bfs_levels(A, 0)
+    assert levels[0] == 0 and nlv == 1
+
+
+def test_isolated_vertex(with_isolated):
+    levels, nlv = bfs_levels(with_isolated, 2)
+    assert levels[2] == 0
+    assert nlv == 1
+    assert np.all(levels[[0, 1, 3]] == -1)
+
+
+def test_root_out_of_range(path5):
+    with pytest.raises(ValueError):
+        bfs_levels(path5, 7)
+
+
+def test_level_sets_partition(grid8x8):
+    levels, nlv = bfs_levels(grid8x8, 0)
+    sets = level_sets(levels)
+    assert len(sets) == nlv
+    total = np.concatenate(sets)
+    assert sorted(total) == list(range(grid8x8.nrows))
+    for d, s in enumerate(sets):
+        assert np.all(levels[s] == d)
+
+
+def test_level_sets_empty():
+    assert level_sets(np.array([-1, -1])) == []
+
+
+def test_gather_rows_concatenates(path5):
+    out = gather_rows(path5, np.array([1, 3]))
+    assert np.array_equal(out, [0, 2, 2, 4])
+
+
+def test_gather_rows_empty(path5):
+    assert gather_rows(path5, np.empty(0, dtype=np.int64)).size == 0
+
+
+def test_bfs_parents_root_is_minus_one(path5):
+    parents = bfs_parents(path5, 2)
+    assert parents[2] == -1
+    assert parents[1] == 2 and parents[3] == 2
+    assert parents[0] == 1 and parents[4] == 3
+
+
+def test_bfs_parents_min_id_parent():
+    # diamond: 0-1, 0-2, 1-3, 2-3 : vertex 3 reachable from 1 and 2
+    A = csr_from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    parents = bfs_parents(A, 0)
+    assert parents[3] == 1  # min-id parent wins
+
+
+def test_bfs_levels_match_networkx(random_graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(random_graph.nrows))
+    for i in range(random_graph.nrows):
+        for j in random_graph.row(i):
+            G.add_edge(i, int(j))
+    expected = nx.single_source_shortest_path_length(G, 0)
+    levels, _ = bfs_levels(random_graph, 0)
+    for v, d in expected.items():
+        assert levels[v] == d

@@ -1,0 +1,71 @@
+"""Connected-components tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import component_members, connected_components, is_connected
+from repro.sparse import COOMatrix, CSRMatrix
+from tests.conftest import csr_from_edges
+
+
+def test_connected_graph_single_component(grid8x8):
+    ncomp, labels = connected_components(grid8x8)
+    assert ncomp == 1
+    assert np.all(labels == 0)
+
+
+def test_two_components(two_components):
+    ncomp, labels = connected_components(two_components)
+    assert ncomp == 2
+    assert np.array_equal(labels, [0, 0, 0, 1, 1, 1])
+
+
+def test_isolated_vertices_are_components(with_isolated):
+    ncomp, labels = connected_components(with_isolated)
+    assert ncomp == 2
+    assert labels[2] != labels[0]
+
+
+def test_all_isolated():
+    A = CSRMatrix.from_coo(COOMatrix.empty(4, 4))
+    ncomp, labels = connected_components(A)
+    assert ncomp == 4
+    assert np.array_equal(labels, [0, 1, 2, 3])
+
+
+def test_component_ids_ordered_by_min_vertex():
+    # triangle on {3,4,5} listed before path on {0,1,2}? labels must
+    # still assign component 0 to the component containing vertex 0
+    A = csr_from_edges(6, [(3, 4), (4, 5), (0, 1), (1, 2)])
+    _, labels = connected_components(A)
+    assert labels[0] == 0 and labels[3] == 1
+
+
+def test_component_members_partition(two_components):
+    ncomp, labels = connected_components(two_components)
+    members = component_members(labels)
+    assert len(members) == ncomp
+    assert np.array_equal(np.sort(np.concatenate(members)), np.arange(6))
+
+
+def test_is_connected(grid8x8, two_components):
+    assert is_connected(grid8x8)
+    assert not is_connected(two_components)
+
+
+def test_rectangular_rejected():
+    A = CSRMatrix.from_coo(COOMatrix.empty(2, 3))
+    with pytest.raises(ValueError):
+        connected_components(A)
+
+
+def test_matches_networkx(random_graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(random_graph.nrows))
+    for i in range(random_graph.nrows):
+        for j in random_graph.row(i):
+            G.add_edge(i, int(j))
+    ncomp, _ = connected_components(random_graph)
+    assert ncomp == nx.number_connected_components(G)

@@ -1,0 +1,94 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix
+
+
+def test_empty_matrix():
+    m = COOMatrix.empty(3, 4)
+    assert m.shape == (3, 4)
+    assert m.nnz == 0
+    assert np.array_equal(m.to_dense(), np.zeros((3, 4)))
+
+
+def test_basic_construction_and_dense():
+    m = COOMatrix(2, 2, np.array([0, 1]), np.array([1, 0]), np.array([2.0, 3.0]))
+    dense = m.to_dense()
+    assert dense[0, 1] == 2.0 and dense[1, 0] == 3.0
+    assert dense[0, 0] == 0.0
+
+
+def test_row_index_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+
+
+def test_col_index_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([-1]), np.array([0]), np.array([1.0]))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_coalesce_sums_duplicates():
+    m = COOMatrix(
+        3, 3, np.array([1, 1, 0]), np.array([2, 2, 0]), np.array([1.0, 4.0, 2.0])
+    )
+    c = m.coalesce()
+    assert c.nnz == 2
+    assert c.to_dense()[1, 2] == 5.0
+
+
+def test_coalesce_sorts_row_major():
+    m = COOMatrix(3, 3, np.array([2, 0, 1]), np.array([0, 1, 2]), np.ones(3))
+    c = m.coalesce()
+    assert np.array_equal(c.rows, [0, 1, 2])
+    assert np.array_equal(c.cols, [1, 2, 0])
+
+
+def test_transpose_swaps_coordinates():
+    m = COOMatrix(2, 3, np.array([0]), np.array([2]), np.array([7.0]))
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert t.to_dense()[2, 0] == 7.0
+
+
+def test_from_edges_symmetrizes():
+    m = COOMatrix.from_edges(3, [(0, 1), (1, 2)])
+    d = m.to_dense()
+    assert d[0, 1] == d[1, 0] == 1.0
+    assert d[1, 2] == d[2, 1] == 1.0
+
+
+def test_from_edges_self_loop_once():
+    m = COOMatrix.from_edges(2, [(0, 0)])
+    assert m.nnz == 1
+    assert m.to_dense()[0, 0] == 1.0
+
+
+def test_drop_diagonal():
+    m = COOMatrix(2, 2, np.array([0, 0]), np.array([0, 1]), np.ones(2))
+    d = m.drop_diagonal()
+    assert d.nnz == 1
+    assert d.to_dense()[0, 0] == 0.0
+
+
+def test_equality_after_coalesce():
+    a = COOMatrix(2, 2, np.array([0, 0]), np.array([1, 1]), np.array([1.0, 1.0]))
+    b = COOMatrix(2, 2, np.array([0]), np.array([1]), np.array([2.0]))
+    assert a == b
+
+
+def test_is_square():
+    assert COOMatrix.empty(3, 3).is_square()
+    assert not COOMatrix.empty(3, 4).is_square()

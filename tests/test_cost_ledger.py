@@ -1,0 +1,88 @@
+"""Cost ledger tests."""
+
+import pytest
+
+from repro.machine import REGIONS, CostLedger
+
+
+def test_empty_ledger():
+    ledger = CostLedger()
+    assert ledger.total_seconds == 0.0
+    assert ledger.region_names() == []
+
+
+def test_charge_compute_accumulates():
+    ledger = CostLedger()
+    ledger.charge_compute("a", 1.0, operations=10)
+    ledger.charge_compute("a", 2.0, operations=5)
+    rc = ledger.region("a")
+    assert rc.compute_seconds == 3.0
+    assert rc.operations == 15
+
+
+def test_charge_comm_accumulates():
+    ledger = CostLedger()
+    ledger.charge_comm("a", 0.5, messages=3, words=100)
+    rc = ledger.region("a")
+    assert rc.comm_seconds == 0.5
+    assert rc.messages == 3 and rc.words == 100
+
+
+def test_negative_charge_rejected():
+    ledger = CostLedger()
+    with pytest.raises(ValueError):
+        ledger.charge_compute("a", -1.0)
+    with pytest.raises(ValueError):
+        ledger.charge_comm("a", -1.0)
+
+
+def test_prefix_aggregation():
+    ledger = CostLedger()
+    ledger.charge_compute("ordering:spmspv", 1.0)
+    ledger.charge_compute("ordering:sort", 2.0)
+    ledger.charge_compute("peripheral:spmspv", 4.0)
+    assert ledger.prefix("ordering:").total_seconds == 3.0
+    assert ledger.prefix("peripheral:").total_seconds == 4.0
+    assert ledger.total_seconds == 7.0
+
+
+def test_unknown_region_is_zero():
+    assert CostLedger().region("nope").total_seconds == 0.0
+
+
+def test_comm_split():
+    ledger = CostLedger()
+    ledger.charge_compute("x", 1.0)
+    ledger.charge_comm("x", 2.0)
+    comp, comm = ledger.comm_split()
+    assert comp == 1.0 and comm == 2.0
+
+
+def test_breakdown_dict():
+    ledger = CostLedger()
+    ledger.charge_compute("b", 1.0)
+    ledger.charge_comm("a", 2.0)
+    assert ledger.breakdown() == {"a": 2.0, "b": 1.0}
+
+
+def test_merge():
+    a, b = CostLedger(), CostLedger()
+    a.charge_compute("x", 1.0)
+    b.charge_compute("x", 2.0)
+    b.charge_comm("y", 3.0)
+    a.merge(b)
+    assert a.region("x").compute_seconds == 3.0
+    assert a.region("y").comm_seconds == 3.0
+
+
+def test_reset():
+    ledger = CostLedger()
+    ledger.charge_compute("x", 1.0)
+    ledger.reset()
+    assert ledger.total_seconds == 0.0
+
+
+def test_canonical_region_names():
+    assert "peripheral:spmspv" in REGIONS
+    assert "ordering:sort" in REGIONS
+    assert len(REGIONS) == 5

@@ -1,0 +1,121 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture
+def small():
+    dense = np.array(
+        [
+            [0.0, 1.0, 0.0, 2.0],
+            [1.0, 0.0, 3.0, 0.0],
+            [0.0, 3.0, 0.0, 0.0],
+            [2.0, 0.0, 0.0, 4.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense), dense
+
+
+def test_from_dense_roundtrip(small):
+    m, dense = small
+    assert np.array_equal(m.to_dense(), dense)
+
+
+def test_indices_sorted_within_rows(small):
+    m, _ = small
+    for i in range(m.nrows):
+        row = m.row(i)
+        assert np.all(np.diff(row) > 0)
+
+
+def test_row_access(small):
+    m, _ = small
+    assert np.array_equal(m.row(0), [1, 3])
+    assert np.array_equal(m.row_values(0), [1.0, 2.0])
+
+
+def test_degrees(small):
+    m, _ = small
+    assert np.array_equal(m.degrees(), [2, 2, 1, 2])
+
+
+def test_diagonal(small):
+    m, _ = small
+    assert np.array_equal(m.diagonal(), [0.0, 0.0, 0.0, 4.0])
+
+
+def test_transpose_of_symmetric_pattern(small):
+    m, dense = small
+    t = m.transpose()
+    assert np.array_equal(t.to_dense(), dense.T)
+
+
+def test_identity():
+    eye = CSRMatrix.identity(4)
+    assert np.array_equal(eye.to_dense(), np.eye(4))
+
+
+def test_matvec(small):
+    m, dense = small
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert np.allclose(m.matvec(x), dense @ x)
+
+
+def test_matvec_empty_matrix():
+    m = CSRMatrix.from_coo(COOMatrix.empty(3, 3))
+    assert np.array_equal(m.matvec(np.ones(3)), np.zeros(3))
+
+
+def test_matvec_shape_check(small):
+    m, _ = small
+    with pytest.raises(ValueError):
+        m.matvec(np.ones(5))
+
+
+def test_extract_block(small):
+    m, dense = small
+    blk = m.extract_block(1, 3, 0, 2)
+    assert blk.shape == (2, 2)
+    assert np.array_equal(blk.to_dense(), dense[1:3, 0:2])
+
+
+def test_extract_block_empty_range(small):
+    m, _ = small
+    blk = m.extract_block(1, 1, 0, 4)
+    assert blk.shape == (0, 4)
+    assert blk.nnz == 0
+
+
+def test_to_csc_roundtrip(small):
+    m, dense = small
+    assert np.array_equal(m.to_csc().to_dense(), dense)
+
+
+def test_bad_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 1]), np.array([0]))  # wrong indptr length
+
+
+def test_decreasing_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1, 0]))
+
+
+def test_column_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 1, 1]), np.array([5]))
+
+
+def test_from_coo_coalesces_duplicates():
+    coo = COOMatrix(2, 2, np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]))
+    m = CSRMatrix.from_coo(coo)
+    assert m.nnz == 1
+    assert m.to_dense()[0, 1] == 3.0
+
+
+def test_default_data_is_ones():
+    m = CSRMatrix(2, 2, np.array([0, 1, 2]), np.array([1, 0]))
+    assert np.array_equal(m.data, [1.0, 1.0])

@@ -1,0 +1,77 @@
+"""Standalone distributed BFS tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import bfs_levels, bfs_parents
+from repro.distributed import DistContext, DistSparseMatrix, dist_bfs
+from repro.machine import ProcessGrid, zero_latency
+from repro.matrices import stencil_2d
+from tests.conftest import csr_from_edges
+
+GRIDS = [1, 4, 9]
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_levels_match_serial(p, random_graph):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, random_graph)
+    res = dist_bfs(dA, 0)
+    levels, nlv = bfs_levels(random_graph, 0)
+    assert np.array_equal(res.levels, levels)
+    assert res.nlevels == nlv
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_parents_match_serial(p, grid8x8):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    res = dist_bfs(dA, 5, compute_parents=True)
+    assert np.array_equal(res.parents, bfs_parents(grid8x8, 5))
+
+
+def test_unreachable_minus_one(two_components):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, two_components)
+    res = dist_bfs(dA, 0)
+    assert np.all(res.levels[3:] == -1)
+
+
+def test_root_out_of_range(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    with pytest.raises(ValueError):
+        dist_bfs(dA, 64)
+
+
+def test_spmspv_calls_counted(path5):
+    ctx = DistContext(ProcessGrid(1, 1), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, path5)
+    res = dist_bfs(dA, 0)
+    # 4 productive expansions + 1 empty terminating call
+    assert res.spmspv_calls == 5
+
+
+def test_costs_charged_to_named_region(grid8x8):
+    from repro.machine import edison
+
+    ctx = DistContext(ProcessGrid(2, 2), edison())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    dist_bfs(dA, 0, region="mybfs")
+    assert ctx.ledger.prefix("mybfs:spmspv").total_seconds > 0
+    assert ctx.ledger.prefix("mybfs:other").total_seconds > 0
+
+
+def test_parents_root_is_minus_one(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    res = dist_bfs(dA, 9, compute_parents=True)
+    assert res.parents[9] == -1
+
+
+def test_single_vertex_component():
+    A = csr_from_edges(4, [(1, 2), (2, 3)])
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    res = dist_bfs(dA, 0)
+    assert res.levels[0] == 0 and res.nlevels == 1

@@ -1,0 +1,118 @@
+"""Distributed Table I primitives agree with the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.primitives import read_dense, reduce_argmin, select, set_dense
+from repro.distributed import (
+    DistContext,
+    DistDenseVector,
+    DistSparseVector,
+    d_fill_values,
+    d_first_index_where,
+    d_nnz,
+    d_read_dense,
+    d_reduce_argmin,
+    d_select,
+    d_set_dense,
+)
+from repro.machine import ProcessGrid, zero_latency
+from repro.sparse import SparseVector
+
+GRIDS = [1, 4, 9]
+
+
+@pytest.fixture(params=GRIDS)
+def ctx(request):
+    return DistContext(ProcessGrid.square(request.param), zero_latency())
+
+
+@pytest.fixture
+def sample(ctx):
+    n = 23
+    rng = np.random.default_rng(2)
+    idx = np.sort(rng.choice(n, size=9, replace=False)).astype(np.int64)
+    x = SparseVector(n, idx, rng.integers(0, 5, 9).astype(np.float64))
+    y = rng.integers(-1, 3, n).astype(np.float64)
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dy = DistDenseVector.from_global(ctx, y)
+    return x, y, dx, dy
+
+
+def test_select_matches_serial(sample):
+    x, y, dx, dy = sample
+    serial = select(x, y, lambda v: v == -1.0)
+    dist = d_select(dx, dy, lambda v: v == -1.0, "t")
+    assert dist.to_sparse() == serial
+
+
+def test_read_dense_matches_serial(sample):
+    x, y, dx, dy = sample
+    serial = read_dense(x, y)
+    dist = d_read_dense(dx, dy, "t")
+    assert dist.to_sparse() == serial
+
+
+def test_set_dense_matches_serial(sample):
+    x, y, dx, dy = sample
+    expected = y.copy()
+    set_dense(expected, x)
+    d_set_dense(dy, dx, "t")
+    assert np.array_equal(dy.to_global(), expected)
+
+
+def test_fill_values(sample):
+    _, _, dx, _ = sample
+    filled = d_fill_values(dx, 7.0)
+    s = filled.to_sparse()
+    assert np.all(s.values == 7.0)
+    assert np.array_equal(s.indices, dx.to_sparse().indices)
+
+
+def test_reduce_argmin_matches_serial(sample):
+    x, y, dx, dy = sample
+    assert d_reduce_argmin(dx, dy, "t") == reduce_argmin(x, y)
+
+
+def test_reduce_argmin_tie_break(ctx):
+    n = 20
+    x = SparseVector.from_pairs(n, [2, 7, 15], [0.0, 0.0, 0.0])
+    y = np.full(n, 5.0)
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dy = DistDenseVector.from_global(ctx, y)
+    assert d_reduce_argmin(dx, dy, "t") == 2  # smallest index wins ties
+
+
+def test_reduce_argmin_empty_raises(ctx):
+    dx = DistSparseVector.empty(ctx, 10)
+    dy = DistDenseVector.full(ctx, 10, 0.0)
+    with pytest.raises(ValueError):
+        d_reduce_argmin(dx, dy, "t")
+
+
+def test_nnz(sample):
+    x, _, dx, _ = sample
+    assert d_nnz(dx, "t") == x.nnz
+
+
+def test_nnz_empty(ctx):
+    assert d_nnz(DistSparseVector.empty(ctx, 10), "t") == 0
+
+
+def test_first_index_where(ctx):
+    y = np.array([3.0] * 9 + [-1.0] + [3.0] * 13)
+    dy = DistDenseVector.from_global(ctx, y)
+    assert d_first_index_where(dy, lambda seg: seg == -1.0, "t") == 9
+
+
+def test_first_index_where_none(ctx):
+    dy = DistDenseVector.full(ctx, 12, 0.0)
+    assert d_first_index_where(dy, lambda seg: seg == -1.0, "t") == 12
+
+
+def test_local_primitives_charge_no_comm(ctx, sample):
+    _, _, dx, dy = sample
+    before = ctx.ledger.total.comm_seconds
+    d_select(dx, dy, lambda v: v >= 0, "t")
+    d_read_dense(dx, dy, "t")
+    assert ctx.ledger.total.comm_seconds == before

@@ -1,0 +1,101 @@
+"""Distributed RCM driver tests: regions, scaling behaviour, API."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistContext, rcm_distributed
+from repro.machine import REGIONS, MachineParams, ProcessGrid, edison
+from repro.matrices import stencil_2d
+from repro.sparse import is_permutation
+from tests.conftest import csr_from_edges
+
+
+def test_all_five_regions_charged(grid8x8):
+    res = rcm_distributed(grid8x8, nprocs=4)
+    for region in REGIONS:
+        assert res.ledger.prefix(region).total_seconds > 0, region
+
+
+def test_modeled_seconds_positive(grid8x8):
+    res = rcm_distributed(grid8x8, nprocs=4)
+    assert res.modeled_seconds > 0
+
+
+def test_spmspv_call_count(path5):
+    """A path BFS from an endpoint has one SpMSpV per level (+1 empty)."""
+    res = rcm_distributed(path5, nprocs=1)
+    # peripheral: Alg 4 runs >= 2 BFS sweeps; ordering: one more sweep
+    assert res.spmspv_calls >= 2 * 5
+
+
+def test_nonsquare_process_count_rejected(grid8x8):
+    with pytest.raises(ValueError):
+        rcm_distributed(grid8x8, nprocs=8)
+
+
+def test_rectangular_matrix_rejected():
+    from repro.sparse import COOMatrix, CSRMatrix
+
+    with pytest.raises(ValueError):
+        rcm_distributed(CSRMatrix.from_coo(COOMatrix.empty(2, 3)), nprocs=1)
+
+
+def test_explicit_context_used(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), edison())
+    res = rcm_distributed(grid8x8, ctx=ctx)
+    assert res.ctx is ctx
+    assert ctx.ledger.total_seconds == res.modeled_seconds
+
+
+def test_ordering_valid_with_random_permute(grid8x8):
+    res = rcm_distributed(grid8x8, nprocs=4, random_permute=3)
+    assert is_permutation(res.ordering.perm, grid8x8.nrows)
+
+
+def test_larger_grid_costs_more_communication(grid8x8):
+    r1 = rcm_distributed(grid8x8, nprocs=4, machine=edison())
+    r2 = rcm_distributed(grid8x8, nprocs=25, machine=edison())
+    assert r2.ledger.total.comm_seconds > r1.ledger.total.comm_seconds
+
+
+def test_more_ranks_less_compute_time_per_superstep():
+    A = stencil_2d(16, 16)
+    machine = MachineParams(alpha=0.0, beta=0.0, beta_node=0.0)
+    t1 = rcm_distributed(A, nprocs=1, machine=machine).ledger.total.compute_seconds
+    t16 = rcm_distributed(A, nprocs=16, machine=machine, random_permute=1).ledger.total.compute_seconds
+    assert t16 < t1
+
+
+def test_high_diameter_more_latency_bound():
+    """Paper: high-diameter graphs pay more latency (more supersteps)."""
+    machine = edison()
+    chain = csr_from_edges(64, [(i, i + 1) for i in range(63)])
+    blob = stencil_2d(8, 8)  # same n, much lower diameter
+    r_chain = rcm_distributed(chain, nprocs=16, machine=machine)
+    r_blob = rcm_distributed(blob, nprocs=16, machine=machine)
+    assert r_chain.spmspv_calls > r_blob.spmspv_calls
+    assert (
+        r_chain.ledger.total.messages > r_blob.ledger.total.messages
+    )
+
+
+def test_flat_mpi_slower_than_hybrid_at_scale():
+    """Fig. 6 mechanism: at the same core count, 1 thread/process means a
+    bigger grid and more latency."""
+    A = stencil_2d(12, 12)
+    cores = 36
+    flat = rcm_distributed(A, nprocs=36, machine=edison().with_threads(1), random_permute=0)
+    hybrid = rcm_distributed(A, nprocs=4, machine=edison().with_threads(9), random_permute=0)
+    assert flat.ctx.cores == hybrid.ctx.cores == cores
+    assert flat.ledger.total.comm_seconds > hybrid.ledger.total.comm_seconds
+
+
+def test_ledger_words_conserved_nonnegative(grid8x8):
+    res = rcm_distributed(grid8x8, nprocs=9)
+    total = res.ledger.total
+    assert total.words >= 0 and total.messages >= 0
+
+
+def test_algorithm_name_includes_grid(grid8x8):
+    res = rcm_distributed(grid8x8, nprocs=9)
+    assert "p9" in res.ordering.algorithm

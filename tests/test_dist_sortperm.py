@@ -1,0 +1,102 @@
+"""Distributed bucket-sort SORTPERM tests (paper Section IV.B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.primitives import sortperm
+from repro.distributed import (
+    DistContext,
+    DistDenseVector,
+    DistSparseVector,
+    bucket_of_labels,
+    d_sortperm,
+)
+from repro.machine import MachineParams, ProcessGrid, zero_latency
+from repro.sparse import SparseVector
+
+GRIDS = [1, 4, 9, 16]
+
+
+def make_frontier(n, nnz, label_base, label_span, seed):
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(n, size=nnz, replace=False)).astype(np.int64)
+    labels = rng.integers(label_base, label_base + label_span, nnz).astype(float)
+    return SparseVector(n, idx, labels)
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_matches_serial_sortperm(p):
+    n, base, span = 50, 10, 7
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    x = make_frontier(n, 21, base, span, seed=4)
+    degrees = np.random.default_rng(5).integers(1, 6, n).astype(float)
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, degrees)
+    out = d_sortperm(dx, dd, base, span, "t")
+    assert out.to_sparse() == sortperm(x, degrees)
+
+
+@pytest.mark.parametrize("p", [4, 9])
+def test_ranks_are_consecutive_from_zero(p):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    x = make_frontier(40, 17, 0, 5, seed=7)
+    degrees = np.ones(40)
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, degrees)
+    out = d_sortperm(dx, dd, 0, 5, "t").to_sparse()
+    assert sorted(out.values) == list(range(17))
+
+
+def test_bucket_of_labels_monotone():
+    labels = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+    buckets = bucket_of_labels(labels, 0.0, 6, 3)
+    assert np.all(np.diff(buckets) >= 0)
+    assert buckets[0] == 0 and buckets[-1] == 2
+
+
+def test_bucket_of_labels_range_partition():
+    """Every label in [base, base+span) maps to a bucket in [0, p)."""
+    labels = np.arange(100, 120, dtype=float)
+    buckets = bucket_of_labels(labels, 100.0, 20, 7)
+    assert buckets.min() >= 0 and buckets.max() < 7
+
+
+def test_bucket_of_labels_zero_span_rejected():
+    with pytest.raises(ValueError):
+        bucket_of_labels(np.array([1.0]), 0.0, 0, 4)
+
+
+def test_sort_cost_charged():
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams())
+    x = make_frontier(60, 30, 0, 10, seed=9)
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, np.ones(60))
+    d_sortperm(dx, dd, 0, 10, "sortregion")
+    rc = ctx.ledger.region("sortregion")
+    assert rc.compute_seconds > 0
+    assert rc.comm_seconds > 0  # two alltoalls + exscan
+    assert rc.messages > 0
+
+
+def test_tie_break_by_degree_then_id():
+    """Equal parent labels: degree then vertex id decide (Alg. 3 line 9)."""
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    n = 10
+    x = SparseVector(n, np.array([2, 5, 8]), np.array([4.0, 4.0, 4.0]))
+    degrees = np.zeros(n)
+    degrees[[2, 5, 8]] = [3.0, 1.0, 1.0]
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dd = DistDenseVector.from_global(ctx, degrees)
+    out = d_sortperm(dx, dd, 4, 1, "t").to_sparse()
+    # 5 (deg 1, id 5) -> rank 0; 8 (deg 1, id 8) -> rank 1; 2 (deg 3) -> 2
+    assert out.values[out.indices == 5] == 0
+    assert out.values[out.indices == 8] == 1
+    assert out.values[out.indices == 2] == 2
+
+
+def test_empty_frontier_noop():
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dx = DistSparseVector.empty(ctx, 10)
+    dd = DistDenseVector.full(ctx, 10, 1.0)
+    out = d_sortperm(dx, dd, 0, 1, "t")
+    assert out.to_sparse().nnz == 0

@@ -1,0 +1,119 @@
+"""Distributed SpMSpV tests: agrees with serial kernel, costs sane."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistContext, DistSparseMatrix, DistSparseVector, dist_spmspv
+from repro.machine import CostLedger, MachineParams, ProcessGrid, zero_latency
+from repro.semiring import PLUS_TIMES, SELECT2ND_MIN, spmspv_csc
+from repro.sparse import CSCMatrix, SparseVector
+
+GRIDS = [1, 4, 9, 16]
+
+
+def serial_result(A_csr, x, sr):
+    return spmspv_csc(CSCMatrix.from_coo(A_csr.to_coo()), x, sr)
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_matches_serial_select2nd_min(p, random_graph):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, random_graph)
+    rng = np.random.default_rng(1)
+    idx = np.sort(rng.choice(random_graph.nrows, 8, replace=False)).astype(np.int64)
+    x = SparseVector(random_graph.nrows, idx, rng.integers(0, 9, 8).astype(float))
+    dx = DistSparseVector.from_sparse(ctx, x)
+    y = dist_spmspv(dA, dx, SELECT2ND_MIN, "t")
+    assert y.to_sparse() == serial_result(random_graph, x, SELECT2ND_MIN)
+
+
+@pytest.mark.parametrize("p", [4, 9])
+def test_matches_serial_plus_times(p, grid8x8):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    rng = np.random.default_rng(3)
+    idx = np.sort(rng.choice(grid8x8.nrows, 12, replace=False)).astype(np.int64)
+    x = SparseVector(grid8x8.nrows, idx, rng.random(12))
+    dx = DistSparseVector.from_sparse(ctx, x)
+    y = dist_spmspv(dA, dx, PLUS_TIMES, "t")
+    serial = serial_result(grid8x8, x, PLUS_TIMES)
+    assert np.array_equal(y.to_sparse().indices, serial.indices)
+    assert np.allclose(y.to_sparse().values, serial.values)
+
+
+def test_empty_input(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    y = dist_spmspv(dA, DistSparseVector.empty(ctx, grid8x8.nrows), SELECT2ND_MIN, "t")
+    assert y.to_sparse().nnz == 0
+
+
+def test_single_vertex_frontier(path5):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, path5)
+    dx = DistSparseVector.single(ctx, 5, 2, 10.0)
+    y = dist_spmspv(dA, dx, SELECT2ND_MIN, "t").to_sparse()
+    assert np.array_equal(y.indices, [1, 3])
+    assert np.array_equal(y.values, [10.0, 10.0])
+
+
+def test_compute_cost_charged(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams(alpha=0, beta=0, beta_node=0))
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    dx = DistSparseVector.single(ctx, grid8x8.nrows, 0, 0.0)
+    dist_spmspv(dA, dx, SELECT2ND_MIN, "region")
+    rc = ctx.ledger.region("region")
+    assert rc.compute_seconds > 0
+    assert rc.operations > 0
+
+
+def test_comm_cost_charged_on_multirank(grid8x8):
+    ctx = DistContext(ProcessGrid(3, 3), MachineParams())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    idx = np.arange(0, grid8x8.nrows, 5, dtype=np.int64)
+    x = SparseVector(grid8x8.nrows, idx, np.ones(idx.size))
+    dx = DistSparseVector.from_sparse(ctx, x)
+    dist_spmspv(dA, dx, SELECT2ND_MIN, "region")
+    rc = ctx.ledger.region("region")
+    assert rc.comm_seconds > 0
+    assert rc.words > 0
+
+
+def test_no_comm_cost_on_single_rank(grid8x8):
+    ctx = DistContext(ProcessGrid(1, 1), MachineParams())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    dx = DistSparseVector.single(ctx, grid8x8.nrows, 0, 0.0)
+    dist_spmspv(dA, dx, SELECT2ND_MIN, "region")
+    assert ctx.ledger.region("region").comm_seconds == 0.0
+
+
+def test_result_independent_of_machine(grid8x8):
+    """Cost model must never affect results (simulation invariant)."""
+    fast = DistContext(ProcessGrid(2, 2), zero_latency())
+    slow = DistContext(ProcessGrid(2, 2), MachineParams(alpha=1.0, beta=1.0))
+    idx = np.arange(0, grid8x8.nrows, 7, dtype=np.int64)
+    x = SparseVector(grid8x8.nrows, idx, np.arange(idx.size, dtype=float))
+    y1 = dist_spmspv(
+        DistSparseMatrix.from_csr(fast, grid8x8),
+        DistSparseVector.from_sparse(fast, x),
+        SELECT2ND_MIN,
+        "t",
+    )
+    y2 = dist_spmspv(
+        DistSparseMatrix.from_csr(slow, grid8x8),
+        DistSparseVector.from_sparse(slow, x),
+        SELECT2ND_MIN,
+        "t",
+    )
+    assert y1.to_sparse() == y2.to_sparse()
+
+
+def test_full_frontier(grid8x8):
+    """Dense-frontier corner case: every vertex active."""
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    n = grid8x8.nrows
+    x = SparseVector(n, np.arange(n, dtype=np.int64), np.arange(n, dtype=float))
+    dx = DistSparseVector.from_sparse(ctx, x)
+    y = dist_spmspv(dA, dx, SELECT2ND_MIN, "t")
+    assert y.to_sparse() == serial_result(grid8x8, x, SELECT2ND_MIN)

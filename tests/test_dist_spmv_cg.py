@@ -1,0 +1,117 @@
+"""Distributed dense SpMV + distributed CG tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistContext, DistDenseVector, DistSparseMatrix
+from repro.distributed.spmv import dist_cg, dist_spmv_dense
+from repro.machine import MachineParams, ProcessGrid, zero_latency
+from repro.matrices import stencil_2d
+from repro.solvers import conjugate_gradient
+from repro.solvers.solve_model import laplacian_like_values
+
+GRIDS = [1, 4, 9]
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return laplacian_like_values(stencil_2d(6, 7))
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_spmv_matches_serial(p, spd):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    rng = np.random.default_rng(0)
+    xg = rng.standard_normal(spd.nrows)
+    x = DistDenseVector.from_global(ctx, xg)
+    y = dist_spmv_dense(dA, x)
+    assert np.allclose(y.to_global(), spd.matvec(xg))
+
+
+def test_spmv_charges_costs(spd):
+    ctx = DistContext(ProcessGrid(3, 3), MachineParams())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    x = DistDenseVector.full(ctx, spd.nrows, 1.0)
+    dist_spmv_dense(dA, x, region="r")
+    rc = ctx.ledger.region("r")
+    assert rc.compute_seconds > 0 and rc.comm_seconds > 0
+
+
+@pytest.mark.parametrize("p", GRIDS)
+def test_cg_matches_serial_iterations(p, spd):
+    rng = np.random.default_rng(1)
+    bg = rng.standard_normal(spd.nrows)
+    serial = conjugate_gradient(spd, bg, tol=1e-8)
+
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    b = DistDenseVector.from_global(ctx, bg)
+    dist = dist_cg(dA, b, tol=1e-8)
+    assert dist.converged
+    assert dist.iterations == serial.iterations
+    assert np.allclose(dist.x.to_global(), serial.x, atol=1e-6)
+
+
+def test_cg_zero_rhs(spd):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    b = DistDenseVector.full(ctx, spd.nrows, 0.0)
+    res = dist_cg(dA, b)
+    assert res.converged and res.iterations == 0
+
+
+def test_cg_max_iterations(spd):
+    ctx = DistContext(ProcessGrid(2, 2), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    rng = np.random.default_rng(2)
+    b = DistDenseVector.from_global(ctx, rng.standard_normal(spd.nrows))
+    res = dist_cg(dA, b, tol=1e-14, max_iterations=2)
+    assert not res.converged and res.iterations == 2
+
+
+def test_cg_ledger_records_dot_and_spmv(spd):
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams())
+    dA = DistSparseMatrix.from_csr(ctx, spd)
+    rng = np.random.default_rng(3)
+    b = DistDenseVector.from_global(ctx, rng.standard_normal(spd.nrows))
+    dist_cg(dA, b, tol=1e-6, region="solve")
+    assert ctx.ledger.prefix("solve:spmv").total_seconds > 0
+    assert ctx.ledger.prefix("solve:dot").comm_seconds > 0
+
+
+def test_rcm_ordering_reduces_cg_comm_volume():
+    """The Fig. 1 communication mechanism inside the 2D machinery:
+    the same solve moves fewer words when... (2D SpMV volume is
+    bandwidth-independent, but the dot/allgather pattern is fixed) —
+    so instead check the 1D model: see test_distspmv; here we check
+    that ordering does not change distributed CG numerics."""
+    from repro.core import rcm_serial
+    from repro.sparse import permute_symmetric, random_symmetric_permutation
+
+    scrambled, _ = random_symmetric_permutation(stencil_2d(6, 6), 4)
+    spd_bad = laplacian_like_values(scrambled)
+    ordering = rcm_serial(scrambled)
+    spd_good = laplacian_like_values(permute_symmetric(scrambled, ordering.perm))
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(36)
+
+    ctx1 = DistContext(ProcessGrid(2, 2), zero_latency())
+    r1 = dist_cg(
+        DistSparseMatrix.from_csr(ctx1, spd_bad),
+        DistDenseVector.from_global(ctx1, b),
+        tol=1e-8,
+    )
+    ctx2 = DistContext(ProcessGrid(2, 2), zero_latency())
+    # permuted rhs for the permuted system
+    from repro.sparse import invert_permutation
+
+    bp = b[ordering.perm]
+    r2 = dist_cg(
+        DistSparseMatrix.from_csr(ctx2, spd_good),
+        DistDenseVector.from_global(ctx2, bp),
+        tol=1e-8,
+    )
+    assert r1.converged and r2.converged
+    # same spectrum => same CG behaviour (permutation similarity)
+    assert abs(r1.iterations - r2.iterations) <= 1

@@ -1,0 +1,88 @@
+"""2D-distributed matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistContext, DistSparseMatrix
+from repro.machine import ProcessGrid, zero_latency
+from repro.matrices import stencil_2d
+from repro.sparse import random_symmetric_permutation
+from tests.conftest import csr_from_edges
+
+
+@pytest.fixture
+def ctx():
+    return DistContext(ProcessGrid(2, 2), zero_latency())
+
+
+def test_roundtrip_preserves_matrix(ctx, grid8x8):
+    d = DistSparseMatrix.from_csr(ctx, grid8x8)
+    assert np.array_equal(d.to_csr().to_dense(), grid8x8.to_dense())
+
+
+def test_nnz_conserved(ctx, random_graph):
+    d = DistSparseMatrix.from_csr(ctx, random_graph)
+    assert d.nnz == random_graph.nnz
+
+
+def test_blocks_have_local_dimensions(ctx, grid8x8):
+    d = DistSparseMatrix.from_csr(ctx, grid8x8)
+    n = grid8x8.nrows
+    for i in range(2):
+        rlo, rhi = ctx.grid.row_block(n, i)
+        for j in range(2):
+            clo, chi = ctx.grid.col_block(n, j)
+            blk = d.block(i, j)
+            assert blk.shape == (rhi - rlo, chi - clo)
+
+
+def test_block_entries_in_right_place(ctx):
+    A = csr_from_edges(8, [(0, 7), (3, 4)])
+    d = DistSparseMatrix.from_csr(ctx, A)
+    # entries (0,7) and (3,4): row block 0, col block 1
+    assert d.block(0, 1).nnz == 2
+    # mirrored entries (7,0) and (4,3): row block 1, col block 0
+    assert d.block(1, 0).nnz == 2
+    assert d.block(0, 0).nnz == 0 and d.block(1, 1).nnz == 0
+
+
+def test_degrees_match_serial(ctx, random_graph):
+    d = DistSparseMatrix.from_csr(ctx, random_graph)
+    deg = d.degrees().to_global()
+    assert np.array_equal(deg, random_graph.degrees().astype(np.float64))
+
+
+def test_local_nnz_row_major_order(ctx, grid8x8):
+    d = DistSparseMatrix.from_csr(ctx, grid8x8)
+    per = d.local_nnz()
+    assert len(per) == 4
+    assert sum(per) == grid8x8.nnz
+
+
+def test_load_imbalance_improves_with_random_permutation():
+    ctx = DistContext(ProcessGrid(4, 4), zero_latency())
+    A = stencil_2d(20, 20)  # banded: diagonal blocks loaded
+    natural = DistSparseMatrix.from_csr(ctx, A).load_imbalance()
+    permuted, _ = random_symmetric_permutation(A, 0)
+    randomized = DistSparseMatrix.from_csr(ctx, permuted).load_imbalance()
+    assert randomized < natural
+
+
+def test_rectangular_rejected(ctx):
+    from repro.sparse import COOMatrix, CSRMatrix
+
+    with pytest.raises(ValueError):
+        DistSparseMatrix.from_csr(ctx, CSRMatrix.from_coo(COOMatrix.empty(3, 4)))
+
+
+def test_single_rank_grid(grid8x8):
+    ctx = DistContext(ProcessGrid(1, 1), zero_latency())
+    d = DistSparseMatrix.from_csr(ctx, grid8x8)
+    assert d.block(0, 0).nnz == grid8x8.nnz
+
+
+def test_uneven_split():
+    ctx = DistContext(ProcessGrid(3, 3), zero_latency())
+    A = csr_from_edges(10, [(i, i + 1) for i in range(9)])
+    d = DistSparseMatrix.from_csr(ctx, A)
+    assert np.array_equal(d.to_csr().to_dense(), A.to_dense())

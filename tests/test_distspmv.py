@@ -1,0 +1,80 @@
+"""1D distributed SpMV communication-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import rcm_serial
+from repro.machine import MachineParams
+from repro.matrices import stencil_2d
+from repro.solvers import analyze_spmv_communication, spmv_iteration_time
+from repro.sparse import CSRMatrix, permute_symmetric, random_symmetric_permutation
+
+
+def test_single_rank_no_ghosts(grid8x8):
+    plan = analyze_spmv_communication(grid8x8, 1)
+    assert plan.max_ghost_words == 0
+    assert plan.max_neighbors == 0
+    assert plan.total_ghost_words == 0
+
+
+def test_banded_matrix_nearest_neighbor():
+    """A bandwidth-b matrix split into wide blocks only talks to adjacent
+    blocks — the paper's nearest-neighbor claim for RCM-ordered SpMV."""
+    from repro.matrices import path_graph
+
+    A = path_graph(64)
+    plan = analyze_spmv_communication(A, 8)
+    assert plan.max_neighbors <= 2
+    assert plan.max_ghost_words <= 2
+
+
+def test_scrambled_matrix_talks_to_everyone():
+    scrambled, _ = random_symmetric_permutation(stencil_2d(16, 16), 3)
+    plan = analyze_spmv_communication(scrambled, 8)
+    assert plan.max_neighbors == 7  # all other ranks
+
+
+def test_rcm_reduces_ghost_volume():
+    """Fig. 1 mechanism (b): RCM shrinks the ghost exchange."""
+    scrambled, _ = random_symmetric_permutation(stencil_2d(16, 16), 5)
+    ordered = permute_symmetric(scrambled, rcm_serial(scrambled).perm)
+    p_scr = analyze_spmv_communication(scrambled, 8)
+    p_rcm = analyze_spmv_communication(ordered, 8)
+    assert p_rcm.max_ghost_words < p_scr.max_ghost_words / 2
+    assert p_rcm.max_neighbors < p_scr.max_neighbors
+
+
+def test_flops_counted(grid8x8):
+    plan = analyze_spmv_communication(grid8x8, 4)
+    assert plan.max_local_flops >= 2 * grid8x8.nnz / 4
+
+
+def test_avg_ghost_words(grid8x8):
+    plan = analyze_spmv_communication(grid8x8, 4)
+    assert plan.avg_ghost_words <= plan.max_ghost_words
+
+
+def test_iteration_time_positive(grid8x8):
+    plan = analyze_spmv_communication(grid8x8, 4)
+    t = spmv_iteration_time(plan, MachineParams())
+    assert t > 0
+
+
+def test_iteration_time_latency_term():
+    """With zero work and zero ghosts, multi-rank still pays dot-product
+    allreduce latency."""
+    from repro.solvers import SpMVCommPlan
+
+    plan = SpMVCommPlan(
+        nprocs=16, max_ghost_words=0, total_ghost_words=0, max_neighbors=0, max_local_flops=0
+    )
+    t = spmv_iteration_time(plan, MachineParams(alpha=1e-6))
+    assert t == pytest.approx(2 * 1e-6 * np.log2(16))
+
+
+def test_iteration_time_includes_blas1():
+    plan = analyze_spmv_communication(stencil_2d(10, 10), 4)
+    m = MachineParams(alpha=0.0, beta=0.0)
+    bare = spmv_iteration_time(plan, m)
+    loaded = spmv_iteration_time(plan, m, extra_flops_per_row=100.0, rows_per_rank=25.0)
+    assert loaded > bare

@@ -1,0 +1,128 @@
+"""Cross-module edge cases and regression guards."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import rcm_serial
+from repro.machine import CollectiveEngine, CostLedger, MachineParams
+from repro.matrices import path_graph
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    SparseVector,
+    read_matrix_market,
+    write_matrix_market,
+)
+from tests.conftest import csr_from_edges
+
+
+# ------------------------------------------------------------------ I/O
+def test_integer_field_read():
+    text = """%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 2 3
+2 1 4
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert m.to_dense()[0, 1] == 3.0
+
+
+def test_symmetric_pattern_roundtrip():
+    m = COOMatrix.from_edges(5, [(0, 3), (1, 4), (2, 2)])
+    buf = io.StringIO()
+    write_matrix_market(buf, m, field="pattern", symmetric=True)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert np.array_equal(back.to_dense() != 0, m.to_dense() != 0)
+
+
+def test_write_negative_values_roundtrip():
+    m = COOMatrix(2, 2, np.array([0]), np.array([1]), np.array([-2.5e-17]))
+    buf = io.StringIO()
+    write_matrix_market(buf, m)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert back.vals[0] == pytest.approx(-2.5e-17)
+
+
+# ------------------------------------------------------------ graph corner cases
+def test_rcm_on_complete_graph():
+    n = 8
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    A = csr_from_edges(n, edges)
+    o = rcm_serial(A)
+    # complete graph: any ordering has bandwidth n-1
+    assert o.quality(A).bw_after == n - 1
+
+
+def test_rcm_on_two_vertex_graph():
+    A = csr_from_edges(2, [(0, 1)])
+    o = rcm_serial(A)
+    assert sorted(o.perm) == [0, 1]
+
+
+def test_rcm_single_edge_among_isolated():
+    A = csr_from_edges(5, [(2, 4)])
+    o = rcm_serial(A)
+    assert sorted(o.perm) == list(range(5))
+
+
+def test_star_rcm_bandwidth_bounds():
+    """Star bandwidth: at best ceil((n-1)/2) (hub centered), at worst n-1."""
+    n = 9
+    A = csr_from_edges(n, [(0, i) for i in range(1, n)])
+    o = rcm_serial(A)
+    bw = o.quality(A).bw_after
+    assert (n - 1) // 2 <= bw <= n - 1
+
+
+# ------------------------------------------------------------ machine guards
+def test_collectives_with_single_rank_are_free():
+    engine = CollectiveEngine(MachineParams(), CostLedger())
+    out = engine.allgather_groups([[np.arange(4.0)]], "r")
+    assert np.array_equal(out[0], np.arange(4.0))
+    assert engine.ledger.region("r").comm_seconds == 0.0
+
+
+def test_alltoall_single_rank():
+    engine = CollectiveEngine(MachineParams(), CostLedger())
+    recv = engine.alltoall([[np.arange(3.0)]], "r")
+    assert np.array_equal(recv[0][0], np.arange(3.0))
+    assert engine.ledger.region("r").comm_seconds == 0.0
+
+
+def test_allgather_cost_monotone_in_size():
+    engine = CollectiveEngine(MachineParams(), CostLedger())
+    small, _, _ = engine.allgather_cost(4, 100)
+    big, _, _ = engine.allgather_cost(4, 10_000)
+    assert big > small
+
+
+def test_exscan_empty_counts():
+    engine = CollectiveEngine(MachineParams(), CostLedger())
+    scan = engine.exscan_counts([0, 0, 0], "r")
+    assert np.array_equal(scan, [0, 0, 0])
+
+
+# ------------------------------------------------------------ sparse vectors
+def test_sparse_vector_full_density():
+    x = SparseVector(4, np.arange(4, dtype=np.int64), np.ones(4))
+    assert x.nnz == 4
+    assert np.array_equal(x.to_dense(), np.ones(4))
+
+
+def test_csr_single_entry_matrix():
+    A = CSRMatrix.from_dense(np.array([[5.0]]))
+    assert A.nnz == 1
+    assert A.matvec(np.array([2.0]))[0] == 10.0
+
+
+def test_long_path_rcm_is_linear_scan():
+    """On a path, RCM must produce a walk from one endpoint."""
+    A = path_graph(30)
+    o = rcm_serial(A)
+    labels = o.inverse()
+    diffs = np.abs(np.diff(labels))
+    assert np.all(diffs == 1)

@@ -1,0 +1,56 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "serial RCM" in out
+    assert "identical ordering on a 3x3 grid? True" in out
+
+
+def test_distributed_scaling(capsys):
+    out = run_example("distributed_scaling.py", ["serena", "0.4"], capsys)
+    assert "Strong scaling" in out
+    assert "Ordering identical at every core count: True" in out
+
+
+def test_solver_preconditioning(capsys):
+    out = run_example("solver_preconditioning.py", [], capsys)
+    assert "rcm speedup" in out
+    assert "ghost" in out
+
+
+def test_reorder_matrix_market(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("TMPDIR", str(tmp_path))
+    import tempfile
+
+    tempfile.tempdir = None  # pick up the patched TMPDIR
+    try:
+        out = run_example("reorder_matrix_market.py", [], capsys)
+    finally:
+        tempfile.tempdir = None
+    assert "bandwidth" in out
+    assert "wrote" in out
+
+
+def test_direct_solver_envelope(capsys):
+    out = run_example("direct_solver_envelope.py", [], capsys)
+    assert "factor storage" in out
+    assert "RCM" in out

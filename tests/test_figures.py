@@ -1,0 +1,61 @@
+"""ASCII stacked-bar figure tests."""
+
+import pytest
+
+from repro.bench import stacked_bars
+
+
+def test_basic_render():
+    out = stacked_bars(
+        [1, 6],
+        [[2.0, 1.0], [1.0, 0.5]],
+        ["a", "b"],
+        width=30,
+        glyphs=("A", "B"),
+    )
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert lines[0].count("A") == 20 and lines[0].count("B") == 10
+    assert "legend: A=a  B=b" in lines[-1]
+
+
+def test_bars_scale_to_peak():
+    out = stacked_bars([1, 2], [[4.0], [1.0]], ["x"], width=40, glyphs=("X",))
+    lines = out.splitlines()
+    assert lines[0].count("X") == 40
+    assert lines[1].count("X") == 10
+
+
+def test_nonzero_segments_get_at_least_one_cell():
+    out = stacked_bars([1], [[1000.0, 0.001]], ["big", "tiny"], width=20)
+    assert out.splitlines()[0].count("p") == 1
+
+
+def test_zero_segment_gets_no_cell():
+    out = stacked_bars([1], [[1.0, 0.0]], ["a", "b"], width=10)
+    assert "p" not in out.splitlines()[0]
+
+
+def test_total_annotated():
+    out = stacked_bars([7], [[1.5, 0.5]], ["a", "b"], width=10)
+    assert "2s" in out.splitlines()[0]
+
+
+def test_label_stack_mismatch_rejected():
+    with pytest.raises(ValueError):
+        stacked_bars([1, 2], [[1.0]], ["a"])
+
+
+def test_segment_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        stacked_bars([1], [[1.0, 2.0]], ["a"])
+
+
+def test_too_few_glyphs_rejected():
+    with pytest.raises(ValueError):
+        stacked_bars([1], [[1.0, 1.0]], ["a", "b"], glyphs=("X",))
+
+
+def test_all_zero_stacks():
+    out = stacked_bars([1], [[0.0, 0.0]], ["a", "b"])
+    assert "0s" in out.splitlines()[0]

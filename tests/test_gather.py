@@ -1,0 +1,78 @@
+"""Gather-to-root baseline tests (paper Section V.C)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import gather_then_rcm
+from repro.distributed import (
+    DistContext,
+    DistSparseMatrix,
+    gather_matrix_to_root,
+    matrix_wire_words,
+    rcm_distributed,
+)
+from repro.machine import MachineParams, ProcessGrid, edison
+from repro.matrices import stencil_2d
+
+
+def test_matrix_wire_words():
+    assert matrix_wire_words(10, 40) == 11 + 40
+
+
+def test_gather_reassembles_matrix(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), edison())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    back = gather_matrix_to_root(dA)
+    assert np.array_equal(back.to_dense(), grid8x8.to_dense())
+
+
+def test_gather_charges_injection_bandwidth(grid8x8):
+    machine = MachineParams(alpha=0.0, beta=0.0, beta_node=1e-6)
+    ctx = DistContext(ProcessGrid(2, 2), machine)
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    gather_matrix_to_root(dA)
+    rc = ctx.ledger.region("gather:matrix")
+    assert rc.comm_seconds > 0
+    assert rc.words > 0
+
+
+def test_gather_cost_grows_with_ranks():
+    A = stencil_2d(12, 12)
+    costs = []
+    for p in (4, 16, 36):
+        ctx = DistContext(ProcessGrid.square(p), edison())
+        dA = DistSparseMatrix.from_csr(ctx, A)
+        gather_matrix_to_root(dA)
+        costs.append(ctx.ledger.region("gather:matrix").comm_seconds)
+    # volume is ~constant but latency grows; cost must not decrease
+    assert costs[0] <= costs[1] <= costs[2]
+
+
+def test_gather_then_rcm_pipeline(grid8x8):
+    ctx = DistContext(ProcessGrid(2, 2), edison())
+    dA = DistSparseMatrix.from_csr(ctx, grid8x8)
+    result = gather_then_rcm(dA)
+    assert result.total_seconds > 0
+    assert result.gather_seconds > 0
+    assert result.order_seconds > 0
+    from repro.sparse import is_permutation
+
+    assert is_permutation(result.ordering.perm, grid8x8.nrows)
+
+
+def test_gather_dominates_at_scale():
+    """The paper's Section V.C claim, at test scale: with many ranks and a
+    bandwidth-starved root, gathering costs more than distributed RCM."""
+    from repro.matrices import block_overlap_graph
+
+    # heavy low-diameter graph: lots of structure to ship, few BFS levels
+    A = block_overlap_graph(4, 80, 16, seed=2)
+    # make the root's injection bandwidth the bottleneck
+    machine = MachineParams(beta_node=2e-6).with_threads(6)
+    ctx = DistContext(ProcessGrid(6, 6), machine)
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    baseline = gather_then_rcm(dA)
+
+    ctx2 = DistContext(ProcessGrid(6, 6), machine)
+    dist = rcm_distributed(A, ctx=ctx2, random_permute=0)
+    assert baseline.gather_seconds > dist.modeled_seconds

@@ -1,0 +1,64 @@
+"""Gibbs-Poole-Stockmeyer baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gps import gps_ordering
+from repro.core import bandwidth_of_permutation, rcm_serial
+from repro.matrices import path_graph, stencil_2d
+from repro.sparse import is_permutation, random_symmetric_permutation
+
+
+def test_valid_permutation(random_graph):
+    o = gps_ordering(random_graph)
+    assert is_permutation(o.perm, random_graph.nrows)
+
+
+def test_path_optimal(path5):
+    o = gps_ordering(path5)
+    assert bandwidth_of_permutation(path5, o.perm) == 1
+
+
+def test_grid_competitive_with_rcm(grid8x8):
+    gps_bw = bandwidth_of_permutation(grid8x8, gps_ordering(grid8x8).perm)
+    rcm_bw = bandwidth_of_permutation(grid8x8, rcm_serial(grid8x8).perm)
+    assert gps_bw <= 2 * rcm_bw + 2
+
+
+def test_scrambled_mesh_improved():
+    A, _ = random_symmetric_permutation(stencil_2d(12, 12), 6)
+    o = gps_ordering(A)
+    from repro.core import bandwidth
+
+    assert bandwidth_of_permutation(A, o.perm) < bandwidth(A) / 3
+
+
+def test_disconnected(two_components):
+    o = gps_ordering(two_components)
+    assert is_permutation(o.perm, 6)
+    assert len(o.roots) == 2
+
+
+def test_isolated_vertices(with_isolated):
+    o = gps_ordering(with_isolated)
+    assert is_permutation(o.perm, 4)
+
+
+def test_deterministic(random_graph):
+    a = gps_ordering(random_graph)
+    b = gps_ordering(random_graph)
+    assert np.array_equal(a.perm, b.perm)
+
+
+def test_rectangular_rejected():
+    from repro.sparse import COOMatrix, CSRMatrix
+
+    with pytest.raises(ValueError):
+        gps_ordering(CSRMatrix.from_coo(COOMatrix.empty(2, 3)))
+
+
+def test_combined_structure_no_vertex_lost():
+    """Every vertex of every component must receive a level (phase 2)."""
+    A, _ = random_symmetric_permutation(stencil_2d(9, 7), 8)
+    o = gps_ordering(A)
+    assert is_permutation(o.perm, A.nrows)

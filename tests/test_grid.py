@@ -1,0 +1,116 @@
+"""Process grid and block distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ProcessGrid, block_owner, block_range, square_grid_side
+
+
+def test_square_grid_side():
+    assert square_grid_side(16) == 4
+    assert square_grid_side(1) == 1
+
+
+def test_square_grid_side_rejects_nonsquare():
+    with pytest.raises(ValueError):
+        square_grid_side(8)
+
+
+def test_block_range_covers_everything():
+    n, p = 17, 5
+    covered = []
+    for b in range(p):
+        lo, hi = block_range(n, p, b)
+        covered.extend(range(lo, hi))
+    assert covered == list(range(n))
+
+
+def test_block_range_balanced():
+    n, p = 103, 7
+    sizes = [block_range(n, p, b)[1] - block_range(n, p, b)[0] for b in range(p)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_range_bad_index():
+    with pytest.raises(ValueError):
+        block_range(10, 3, 3)
+
+
+def test_block_owner_consistent_with_range():
+    n, p = 29, 6
+    for i in range(n):
+        b = block_owner(n, p, i)
+        lo, hi = block_range(n, p, b)
+        assert lo <= i < hi
+
+
+def test_block_owner_out_of_range():
+    with pytest.raises(ValueError):
+        block_owner(10, 2, 10)
+
+
+def test_grid_coords_roundtrip():
+    g = ProcessGrid(3, 4)
+    for r in range(g.size):
+        i, j = g.coords(r)
+        assert g.rank_of(i, j) == r
+
+
+def test_grid_row_col_groups():
+    g = ProcessGrid(2, 3)
+    assert g.row_group(0) == [0, 1, 2]
+    assert g.row_group(1) == [3, 4, 5]
+    assert g.col_group(1) == [1, 4]
+    assert len(g.row_groups()) == 2
+    assert len(g.col_groups()) == 3
+
+
+def test_grid_square_constructor():
+    g = ProcessGrid.square(9)
+    assert (g.pr, g.pc) == (3, 3)
+
+
+def test_grid_rejects_bad_dims():
+    with pytest.raises(ValueError):
+        ProcessGrid(0, 2)
+
+
+def test_vector_offsets_partition():
+    g = ProcessGrid(2, 2)
+    offs = g.vector_offsets(10)
+    assert offs[0] == 0 and offs[-1] == 10
+    assert np.all(np.diff(offs) >= 0)
+
+
+def test_vector_owner_matches_offsets():
+    g = ProcessGrid(2, 3)
+    n = 23
+    offs = g.vector_offsets(n)
+    for i in range(n):
+        k = g.vector_owner(n, i)
+        assert offs[k] <= i < offs[k + 1]
+
+
+def test_row_blocks_align_with_vector_pieces():
+    """Row block i must equal the union of the pieces of processor row i —
+    the alignment the distributed SpMSpV's Phase C relies on."""
+    for n in (10, 23, 64, 101):
+        for side in (1, 2, 3, 5):
+            g = ProcessGrid(side, side)
+            offs = g.vector_offsets(n)
+            for i in range(g.pr):
+                rlo, rhi = g.row_block(n, i)
+                assert offs[i * g.pc] == rlo
+                assert offs[(i + 1) * g.pc] == rhi
+
+
+def test_col_blocks_align_with_piece_runs():
+    """Column block j covers pieces j*pr .. (j+1)*pr - 1 (Phase A)."""
+    for n in (10, 23, 64, 101):
+        for side in (1, 2, 3, 5):
+            g = ProcessGrid(side, side)
+            offs = g.vector_offsets(n)
+            for j in range(g.pc):
+                clo, chi = g.col_block(n, j)
+                assert offs[j * g.pr] == clo
+                assert offs[(j + 1) * g.pr] == chi

@@ -1,0 +1,116 @@
+"""Matrix Market I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, read_matrix_market, write_matrix_market
+
+
+def roundtrip(matrix: COOMatrix, **kwargs) -> COOMatrix:
+    buf = io.StringIO()
+    write_matrix_market(buf, matrix, **kwargs)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+def test_roundtrip_general_real():
+    m = COOMatrix(3, 3, np.array([0, 1, 2]), np.array([1, 2, 0]), np.array([1.5, -2.0, 3.25]))
+    back = roundtrip(m)
+    assert back == m
+
+
+def test_roundtrip_symmetric():
+    m = COOMatrix.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    back = roundtrip(m, symmetric=True)
+    assert back == m
+
+
+def test_roundtrip_pattern():
+    m = COOMatrix.from_edges(3, [(0, 1)])
+    back = roundtrip(m, field="pattern")
+    assert np.array_equal(back.to_dense() != 0, m.to_dense() != 0)
+
+
+def test_read_symmetric_expands_off_diagonals():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 3 1.0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    d = m.to_dense()
+    assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+    assert d[2, 2] == 1.0
+    assert m.nnz == 3  # diagonal entry not duplicated
+
+
+def test_read_pattern_file():
+    text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert np.array_equal(m.to_dense(), [[0, 1], [1, 0]])
+
+
+def test_read_with_comment_lines():
+    text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+2 2 1
+1 1 4.0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert m.to_dense()[0, 0] == 4.0
+
+
+def test_read_empty_matrix():
+    text = """%%MatrixMarket matrix coordinate real general
+3 4 0
+"""
+    m = read_matrix_market(io.StringIO(text))
+    assert m.shape == (3, 4) and m.nnz == 0
+
+
+def test_bad_banner_rejected():
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO("garbage\n1 1 0\n"))
+
+
+def test_unsupported_format_rejected():
+    with pytest.raises(ValueError):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix array real general\n2 2\n")
+        )
+
+
+def test_unsupported_field_rejected():
+    with pytest.raises(ValueError):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+        )
+
+
+def test_nnz_mismatch_rejected():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 4.0
+"""
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_file_path_roundtrip(tmp_path):
+    m = COOMatrix.from_edges(5, [(0, 4), (1, 3)])
+    path = tmp_path / "graph.mtx"
+    write_matrix_market(path, m, symmetric=True)
+    back = read_matrix_market(path)
+    assert back == m
+
+
+def test_write_field_validation():
+    with pytest.raises(ValueError):
+        write_matrix_market(io.StringIO(), COOMatrix.empty(1, 1), field="complex")

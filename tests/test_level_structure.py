@@ -1,0 +1,82 @@
+"""Rooted level structure tests (paper Section II.A definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_pseudo_peripheral, rcm_serial
+from repro.core.level_structure import rooted_level_structure
+from repro.core.metrics import bandwidth_of_permutation
+from repro.matrices import path_graph, stencil_2d
+from tests.conftest import csr_from_edges
+
+
+def test_path_length_and_width(path5):
+    ls = rooted_level_structure(path5, 0)
+    assert ls.length == 4
+    assert ls.width == 1
+    assert ls.component_size == 5
+
+
+def test_path_from_middle_wider(path5):
+    ls = rooted_level_structure(path5, 2)
+    assert ls.length == 2
+    assert ls.width == 2  # two vertices per level on both sides
+
+
+def test_star_structure(star7):
+    ls = rooted_level_structure(star7, 0)
+    assert ls.length == 1
+    assert ls.width == 6
+
+
+def test_levels_partition_component(grid8x8):
+    ls = rooted_level_structure(grid8x8, 0)
+    members = np.concatenate(ls.sets)
+    assert sorted(members) == list(range(64))
+    for i, s in enumerate(ls.sets):
+        assert np.all(ls.levels[s] == i)
+
+
+def test_component_restriction(two_components):
+    ls = rooted_level_structure(two_components, 4)
+    assert ls.component_size == 3
+    assert np.all(ls.levels[:3] == -1)
+
+
+def test_level_accessor(grid8x8):
+    ls = rooted_level_structure(grid8x8, 0)
+    assert np.array_equal(ls.level(0), [0])
+    assert np.array_equal(ls.level(1), [1, 8])
+
+
+def test_pseudo_peripheral_narrows_structure():
+    """Starting from a pseudo-peripheral root gives a longer, narrower
+    structure than starting from a central vertex — the reason
+    Algorithm 2 exists."""
+    A = stencil_2d(15, 15)
+    center = 15 * 7 + 7
+    pp = find_pseudo_peripheral(A, center)
+    ls_center = rooted_level_structure(A, center)
+    ls_pp = rooted_level_structure(A, pp.vertex)
+    assert ls_pp.length > ls_center.length
+    assert ls_pp.width <= ls_center.width
+
+
+def test_bandwidth_lower_bound_certificate():
+    """RCM's bandwidth can never beat the level-structure bound."""
+    A = stencil_2d(10, 6)
+    o = rcm_serial(A)
+    ls = rooted_level_structure(A, o.roots[0])
+    assert bandwidth_of_permutation(A, o.perm) >= ls.bandwidth_lower_bound() - 1
+
+
+def test_profile_sketch(path5):
+    ls = rooted_level_structure(path5, 0)
+    assert ls.profile_sketch() == [(i, 1) for i in range(5)]
+
+
+def test_single_vertex():
+    A = csr_from_edges(1, np.empty((0, 2)))
+    ls = rooted_level_structure(A, 0)
+    assert ls.length == 0 and ls.width == 1
+    assert ls.bandwidth_lower_bound() == 0

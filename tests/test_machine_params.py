@@ -1,0 +1,90 @@
+"""Machine cost-model parameter tests."""
+
+import pytest
+
+from repro.machine import MachineParams, edison, zero_latency
+
+
+def test_defaults_valid():
+    m = MachineParams()
+    assert m.gamma > 0 and m.alpha > 0 and m.beta > 0
+
+
+def test_negative_constant_rejected():
+    with pytest.raises(ValueError):
+        MachineParams(gamma=-1.0)
+
+
+def test_zero_threads_rejected():
+    with pytest.raises(ValueError):
+        MachineParams(threads_per_process=0)
+
+
+def test_bad_parallel_fraction_rejected():
+    with pytest.raises(ValueError):
+        MachineParams(thread_parallel_fraction=1.5)
+
+
+def test_thread_speedup_monotone_within_numa():
+    m = edison()
+    s = [m.thread_speedup(t) for t in (1, 2, 4, 6, 12)]
+    assert all(b > a for a, b in zip(s, s[1:]))
+
+
+def test_thread_speedup_single_thread_is_one():
+    assert edison().thread_speedup(1) == pytest.approx(1.0)
+
+
+def test_numa_penalty_reduces_speedup_gain():
+    m = edison()
+    gain_within = m.thread_speedup(12) / m.thread_speedup(6)
+    gain_across = m.thread_speedup(24) / m.thread_speedup(12)
+    assert gain_across < gain_within
+
+
+def test_compute_time_scales_with_ops():
+    m = edison(threads_per_process=1)
+    assert m.compute_time(2000) == pytest.approx(2 * m.compute_time(1000))
+
+
+def test_compute_time_uses_default_threads():
+    m = edison(threads_per_process=6)
+    assert m.compute_time(1e6) < m.compute_time(1e6, threads=1)
+
+
+def test_sort_time_zero_for_trivial():
+    assert edison().sort_time(0) == 0.0
+    assert edison().sort_time(1) == 0.0
+
+
+def test_sort_time_superlinear():
+    m = edison(threads_per_process=1)
+    assert m.sort_time(2000) > 2 * m.sort_time(1000)
+
+
+def test_with_threads():
+    m = edison().with_threads(4)
+    assert m.threads_per_process == 4
+    assert m.alpha == edison().alpha
+
+
+def test_zero_latency_machine_has_free_comm():
+    m = zero_latency()
+    assert m.alpha == 0.0 and m.beta == 0.0 and m.beta_node == 0.0
+
+
+def test_scaled_machine():
+    m = edison().scaled(0.5)
+    assert m.alpha == pytest.approx(edison().alpha * 0.5)
+    assert m.beta == pytest.approx(edison().beta * 0.5)
+    assert m.gamma == edison().gamma  # compute constants untouched
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        edison().scaled(0.0)
+
+
+def test_thread_speedup_rejects_zero():
+    with pytest.raises(ValueError):
+        edison().thread_speedup(0)

@@ -1,0 +1,93 @@
+"""Random graph generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import bandwidth, bfs_levels, connected_components, is_connected
+from repro.matrices import (
+    block_overlap_graph,
+    disconnected_union,
+    erdos_renyi,
+    path_graph,
+    random_banded,
+    random_geometric,
+    rmat,
+    stencil_2d,
+)
+from repro.sparse import is_structurally_symmetric
+
+
+def test_erdos_renyi_size_and_symmetry():
+    A = erdos_renyi(200, avg_degree=6, seed=1)
+    assert A.nrows == 200
+    assert is_structurally_symmetric(A)
+    assert 2 <= A.nnz / 200 <= 8  # collisions/self-loops remove a few
+
+
+def test_erdos_renyi_deterministic():
+    a = erdos_renyi(100, 4, seed=7)
+    b = erdos_renyi(100, 4, seed=7)
+    assert np.array_equal(a.indices, b.indices)
+
+
+def test_random_banded_band_respected():
+    band = 9
+    A = random_banded(150, band=band, avg_degree=5, seed=2)
+    assert bandwidth(A) <= band
+    assert is_connected(A)  # the chain guarantees it
+
+
+def test_rmat_low_diameter():
+    A = rmat(8, edge_factor=12, seed=3)
+    assert A.nrows == 256
+    comp0 = np.flatnonzero(bfs_levels(A, int(np.argmax(A.degrees())))[0] >= 0)
+    levels, nlv = bfs_levels(A, int(np.argmax(A.degrees())))
+    assert nlv <= 8  # skewed graphs are shallow
+
+
+def test_rmat_skewed_degrees():
+    A = rmat(8, edge_factor=8, seed=4)
+    deg = A.degrees()
+    assert deg.max() > 6 * max(np.median(deg), 1)
+
+
+def test_block_overlap_structure():
+    A = block_overlap_graph(nblocks=4, block_size=30, overlap=10, seed=0)
+    assert A.nrows == 30 + 3 * 20
+    assert is_connected(A)
+    # heavy rows: degree ~ block size
+    assert A.degrees().max() >= 29
+
+
+def test_block_overlap_small_diameter():
+    A = block_overlap_graph(nblocks=5, block_size=40, overlap=10, seed=1)
+    _, nlv = bfs_levels(A, 0)
+    assert nlv - 1 <= 6
+
+
+def test_block_overlap_invalid_overlap():
+    with pytest.raises(ValueError):
+        block_overlap_graph(3, 10, 10)
+
+
+def test_random_geometric_connectivity_scales_with_radius():
+    sparse_g = random_geometric(150, 0.05, seed=5)
+    dense_g = random_geometric(150, 0.3, seed=5)
+    assert dense_g.nnz > sparse_g.nnz
+
+
+def test_random_geometric_symmetric():
+    assert is_structurally_symmetric(random_geometric(80, 0.2, seed=6))
+
+
+def test_disconnected_union_components():
+    A = disconnected_union([path_graph(5), stencil_2d(3, 3), path_graph(2)])
+    assert A.nrows == 5 + 9 + 2
+    ncomp, _ = connected_components(A)
+    assert ncomp == 3
+
+
+def test_disconnected_union_preserves_nnz():
+    parts = [path_graph(5), path_graph(7)]
+    A = disconnected_union(parts)
+    assert A.nnz == sum(p.nnz for p in parts)

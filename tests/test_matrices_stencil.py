@@ -1,0 +1,98 @@
+"""Stencil mesh generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import bandwidth, bfs_levels, is_connected
+from repro.matrices import grid_graph_edges, path_graph, stencil_2d, stencil_3d
+from repro.sparse import is_structurally_symmetric
+
+
+def test_2d_5point_degrees():
+    A = stencil_2d(4, 4, points=5)
+    deg = A.degrees()
+    assert deg.max() == 4  # interior
+    assert deg.min() == 2  # corners
+    assert A.nrows == 16
+
+
+def test_2d_5point_edge_count():
+    nx, ny = 5, 7
+    A = stencil_2d(nx, ny, points=5)
+    expected_edges = nx * (ny - 1) + ny * (nx - 1)
+    assert A.nnz == 2 * expected_edges
+
+
+def test_2d_9point_has_diagonal_links():
+    A = stencil_2d(3, 3, points=9)
+    center = 4  # (1,1) in a 3x3 grid
+    assert A.degrees()[center] == 8
+
+
+def test_2d_invalid_stencil():
+    with pytest.raises(ValueError):
+        stencil_2d(3, 3, points=7)
+
+
+def test_3d_7point_degrees():
+    A = stencil_3d(3, 3, 3, points=7)
+    deg = A.degrees()
+    assert deg.max() == 6
+    assert deg.min() == 3
+    assert A.nrows == 27
+
+
+def test_3d_27point_center_degree():
+    A = stencil_3d(3, 3, 3, points=27)
+    center = 13
+    assert A.degrees()[center] == 26
+
+
+def test_3d_invalid_stencil():
+    with pytest.raises(ValueError):
+        stencil_3d(2, 2, 2, points=9)
+
+
+def test_meshes_connected_and_symmetric():
+    for A in (stencil_2d(5, 6), stencil_3d(3, 4, 2), stencil_2d(4, 4, 9)):
+        assert is_connected(A)
+        assert is_structurally_symmetric(A)
+
+
+def test_no_self_loops():
+    A = stencil_2d(4, 4)
+    for i in range(A.nrows):
+        assert i not in A.row(i)
+
+
+def test_2d_diameter():
+    A = stencil_2d(6, 3, points=5)
+    _, nlv = bfs_levels(A, 0)
+    assert nlv - 1 == (6 - 1) + (3 - 1)  # manhattan distance corner to corner
+
+
+def test_row_major_bandwidth():
+    A = stencil_2d(7, 5, points=5)
+    assert bandwidth(A) == 5  # stride = ny
+
+
+def test_path_graph():
+    A = path_graph(10)
+    assert A.nnz == 18
+    assert bandwidth(A) == 1
+
+
+def test_path_graph_single_vertex():
+    A = path_graph(1)
+    assert A.nrows == 1 and A.nnz == 0
+
+
+def test_path_graph_invalid():
+    with pytest.raises(ValueError):
+        path_graph(0)
+
+
+def test_grid_graph_edges_within_bounds():
+    edges = grid_graph_edges((3, 4), np.array([[0, 1], [1, 0]]))
+    ids = edges.ravel()
+    assert ids.min() >= 0 and ids.max() < 12

@@ -1,0 +1,108 @@
+"""Bandwidth/profile/envelope metric tests (paper Section II.A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bandwidth,
+    bandwidth_of_permutation,
+    profile,
+    profile_of_permutation,
+    quality_of,
+    row_bandwidths,
+)
+from repro.sparse import CSRMatrix, permute_symmetric
+from tests.conftest import csr_from_edges
+
+
+def test_path_bandwidth_is_one(path5):
+    assert bandwidth(path5) == 1
+
+
+def test_path_profile(path5):
+    # beta_i = 1 for i >= 1
+    assert profile(path5) == 4
+
+
+def test_row_bandwidths_path(path5):
+    assert np.array_equal(row_bandwidths(path5), [0, 1, 1, 1, 1])
+
+
+def test_diagonal_matrix_zero_bandwidth():
+    assert bandwidth(CSRMatrix.identity(4)) == 0
+    assert profile(CSRMatrix.identity(4)) == 0
+
+
+def test_empty_matrix():
+    from repro.sparse import COOMatrix
+
+    m = CSRMatrix.from_coo(COOMatrix.empty(3, 3))
+    assert bandwidth(m) == 0 and profile(m) == 0
+
+
+def test_arrow_matrix_bandwidth(star7):
+    # star with hub 0: row 6 has first entry at column 0
+    assert bandwidth(star7) == 6
+
+
+def test_upper_only_entries_do_not_go_negative():
+    # row 0 has entry at column 3 only; f_0 capped at the diagonal
+    m = CSRMatrix.from_dense(
+        np.array([[0, 0, 0, 1], [0, 0, 0, 0], [0, 0, 0, 0], [1, 0, 0, 0]], dtype=float)
+    )
+    beta = row_bandwidths(m)
+    assert beta[0] == 0 and beta[3] == 3
+
+
+def test_bandwidth_of_permutation_matches_materialized(random_graph):
+    rng = np.random.default_rng(11)
+    perm = rng.permutation(random_graph.nrows).astype(np.int64)
+    direct = bandwidth(permute_symmetric(random_graph, perm))
+    assert bandwidth_of_permutation(random_graph, perm) == direct
+
+
+def test_profile_of_permutation_matches_materialized(random_graph):
+    rng = np.random.default_rng(12)
+    perm = rng.permutation(random_graph.nrows).astype(np.int64)
+    direct = profile(permute_symmetric(random_graph, perm))
+    assert profile_of_permutation(random_graph, perm) == direct
+
+
+def test_identity_permutation_is_noop(grid8x8):
+    eye = np.arange(grid8x8.nrows, dtype=np.int64)
+    assert bandwidth_of_permutation(grid8x8, eye) == bandwidth(grid8x8)
+    assert profile_of_permutation(grid8x8, eye) == profile(grid8x8)
+
+
+def test_invalid_permutation_rejected(path5):
+    with pytest.raises(ValueError):
+        bandwidth_of_permutation(path5, np.array([0, 1, 2, 3, 3]))
+
+
+def test_quality_of_reports_both(grid8x8):
+    perm = np.arange(grid8x8.nrows, dtype=np.int64)
+    q = quality_of(grid8x8, perm)
+    assert q.bw_before == q.bw_after
+    assert q.profile_before == q.profile_after
+    assert q.bw_reduction == pytest.approx(1.0)
+
+
+def test_bandwidth_invariant_under_reversal(grid8x8):
+    rev = np.arange(grid8x8.nrows, dtype=np.int64)[::-1].copy()
+    assert bandwidth_of_permutation(grid8x8, rev) == bandwidth(grid8x8)
+
+
+def test_profile_can_differ_under_reversal():
+    """Reversal preserves bandwidth but generally NOT the profile —
+    that asymmetry is why *Reverse* CM beats CM (George's observation)."""
+    # asymmetric tree: hub at one end
+    A = csr_from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+    fwd = np.array([4, 3, 0, 1, 2], dtype=np.int64)
+    rev = fwd[::-1].copy()
+    assert bandwidth_of_permutation(A, fwd) == bandwidth_of_permutation(A, rev)
+    assert profile_of_permutation(A, fwd) != profile_of_permutation(A, rev)
+
+
+def test_grid_bandwidth_formula(grid8x8):
+    # row-major 8x8 5-point grid: bandwidth = 8 (the row stride)
+    assert bandwidth(grid8x8) == 8

@@ -1,0 +1,65 @@
+"""Ordering result-type tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ordering, bandwidth
+from repro.sparse import invert_permutation
+
+
+def test_valid_permutation_required():
+    with pytest.raises(ValueError):
+        Ordering(perm=np.array([0, 0, 1]))
+
+
+def test_inverse_roundtrip():
+    o = Ordering(perm=np.array([2, 0, 1]))
+    inv = o.inverse()
+    assert np.array_equal(inv, invert_permutation(o.perm))
+    assert np.array_equal(o.perm[inv], [0, 1, 2])
+
+
+def test_reversed_reverses_perm():
+    o = Ordering(perm=np.array([2, 0, 1]), algorithm="cm")
+    r = o.reversed()
+    assert np.array_equal(r.perm, [1, 0, 2])
+    assert r.algorithm == "cm-reversed"
+
+
+def test_reversed_twice_is_identity():
+    o = Ordering(perm=np.array([3, 1, 0, 2]))
+    rr = o.reversed().reversed()
+    assert np.array_equal(rr.perm, o.perm)
+
+
+def test_apply_permutes_matrix(path5):
+    o = Ordering(perm=np.arange(5)[::-1].copy())
+    permuted = o.apply(path5)
+    assert bandwidth(permuted) == bandwidth(path5)
+
+
+def test_quality_shortcut(grid8x8):
+    o = Ordering(perm=np.arange(grid8x8.nrows))
+    q = o.quality(grid8x8)
+    assert q.bw_before == q.bw_after
+
+
+def test_pseudo_diameter_from_levels():
+    o = Ordering(perm=np.arange(4), levels_per_component=[3, 5])
+    assert o.pseudo_diameter() == 4
+
+
+def test_pseudo_diameter_empty():
+    o = Ordering(perm=np.arange(4))
+    assert o.pseudo_diameter() == 0
+
+
+def test_equality_by_perm():
+    a = Ordering(perm=np.array([1, 0]), algorithm="x")
+    b = Ordering(perm=np.array([1, 0]), algorithm="y")
+    c = Ordering(perm=np.array([0, 1]))
+    assert a == b and a != c
+
+
+def test_n_property():
+    assert Ordering(perm=np.arange(7)).n == 7

@@ -1,0 +1,110 @@
+"""Permutation algebra and symmetric permutation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import bandwidth
+from repro.sparse import (
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+    random_symmetric_permutation,
+)
+from tests.conftest import csr_from_edges
+
+
+def test_is_permutation_true():
+    assert is_permutation(np.array([2, 0, 1]))
+
+
+def test_is_permutation_duplicates():
+    assert not is_permutation(np.array([0, 0, 1]))
+
+
+def test_is_permutation_out_of_range():
+    assert not is_permutation(np.array([0, 3, 1]))
+
+
+def test_is_permutation_length_check():
+    assert not is_permutation(np.array([0, 1]), n=3)
+
+
+def test_is_permutation_empty():
+    assert is_permutation(np.array([], dtype=np.int64))
+
+
+def test_invert_permutation():
+    p = np.array([2, 0, 1])
+    ip = invert_permutation(p)
+    assert np.array_equal(p[ip], [0, 1, 2])
+    assert np.array_equal(ip[p], [0, 1, 2])
+
+
+def test_invert_rejects_non_permutation():
+    with pytest.raises(ValueError):
+        invert_permutation(np.array([0, 0]))
+
+
+def test_compose_permutations():
+    inner = np.array([1, 2, 0])
+    outer = np.array([2, 1, 0])
+    composed = compose_permutations(outer, inner)
+    assert np.array_equal(composed, inner[outer])
+
+
+def test_compose_size_mismatch():
+    with pytest.raises(ValueError):
+        compose_permutations(np.array([0]), np.array([0, 1]))
+
+
+def test_permute_symmetric_identity(path5):
+    eye = np.arange(5)
+    p = permute_symmetric(path5, eye)
+    assert np.array_equal(p.to_dense(), path5.to_dense())
+
+
+def test_permute_symmetric_reversal_preserves_bandwidth(path5):
+    rev = np.arange(5)[::-1].copy()
+    p = permute_symmetric(path5, rev)
+    assert bandwidth(p) == bandwidth(path5)
+
+
+def test_permute_symmetric_moves_entries():
+    A = csr_from_edges(3, [(0, 1)])
+    perm = np.array([2, 1, 0])  # new 0 <- old 2
+    p = permute_symmetric(A, perm)
+    d = p.to_dense()
+    assert d[2, 1] == 1.0 and d[1, 2] == 1.0
+    assert d[0, 1] == 0.0
+
+
+def test_permute_symmetric_requires_square():
+    from repro.sparse import COOMatrix, CSRMatrix
+
+    m = CSRMatrix.from_coo(COOMatrix.empty(2, 3))
+    with pytest.raises(ValueError):
+        permute_symmetric(m, np.array([0, 1]))
+
+
+def test_permute_symmetric_rejects_bad_perm(path5):
+    with pytest.raises(ValueError):
+        permute_symmetric(path5, np.array([0, 1, 2, 3, 3]))
+
+
+def test_random_symmetric_permutation_roundtrip(random_graph):
+    permuted, perm = random_symmetric_permutation(random_graph, seed=5)
+    # applying the inverse recovers the original pattern
+    back = permute_symmetric(permuted, invert_permutation(perm))
+    assert np.array_equal(back.to_dense(), random_graph.to_dense())
+
+
+def test_random_symmetric_permutation_deterministic(random_graph):
+    _, p1 = random_symmetric_permutation(random_graph, seed=9)
+    _, p2 = random_symmetric_permutation(random_graph, seed=9)
+    assert np.array_equal(p1, p2)
+
+
+def test_permutation_preserves_degree_multiset(random_graph):
+    permuted, _ = random_symmetric_permutation(random_graph, seed=1)
+    assert sorted(permuted.degrees()) == sorted(random_graph.degrees())

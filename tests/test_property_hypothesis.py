@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the load-bearing invariants with randomized inputs:
+permutation algebra, ordering validity, semiring kernel equivalence,
+bucket-sort agreement with the serial sort, and metric consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bandwidth, bandwidth_of_permutation, rcm_algebraic, rcm_serial
+from repro.core.primitives import sortperm
+from repro.distributed import (
+    DistContext,
+    DistDenseVector,
+    DistSparseVector,
+    d_sortperm,
+    rcm_distributed,
+)
+from repro.machine import ProcessGrid, zero_latency
+from repro.semiring import SELECT2ND_MIN, PLUS_TIMES, spmspv_csc, spmspv_csr
+from repro.sparse import (
+    CSCMatrix,
+    SparseVector,
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+)
+from tests.conftest import csr_from_edges
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graphs(draw, max_n=28):
+    """A random undirected graph as (n, edge list)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    max_edges = min(n * (n - 1) // 2, 60)
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, edges
+
+
+@st.composite
+def permutations(draw, max_n=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return np.random.default_rng(seed).permutation(n).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Permutation algebra
+# ----------------------------------------------------------------------
+@given(permutations())
+@settings(max_examples=60, deadline=None)
+def test_inverse_of_inverse_is_identity(perm):
+    assert np.array_equal(invert_permutation(invert_permutation(perm)), perm)
+
+
+@given(permutations())
+@settings(max_examples=60, deadline=None)
+def test_inverse_composes_to_identity(perm):
+    ip = invert_permutation(perm)
+    assert np.array_equal(perm[ip], np.arange(perm.size))
+
+
+# ----------------------------------------------------------------------
+# RCM validity + determinism
+# ----------------------------------------------------------------------
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_rcm_is_always_a_permutation(g):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    o = rcm_serial(A)
+    assert is_permutation(o.perm, n)
+
+
+@given(graphs(max_n=20))
+@settings(max_examples=25, deadline=None)
+def test_algebraic_always_matches_serial(g):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    assert np.array_equal(rcm_algebraic(A).perm, rcm_serial(A).perm)
+
+
+@given(graphs(max_n=16), st.sampled_from([1, 4, 9]))
+@settings(max_examples=20, deadline=None)
+def test_distributed_always_matches_serial(g, p):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    dist = rcm_distributed(A, nprocs=p, machine=zero_latency())
+    assert np.array_equal(dist.ordering.perm, rcm_serial(A).perm)
+
+
+@given(graphs(max_n=20))
+@settings(max_examples=25, deadline=None)
+def test_symmetric_permutation_preserves_bandwidth_multiset(g):
+    """bandwidth(P A P^T) under RCM's own perm == bandwidth via metrics."""
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    perm = rcm_serial(A).perm
+    assert bandwidth(permute_symmetric(A, perm)) == bandwidth_of_permutation(A, perm)
+
+
+# ----------------------------------------------------------------------
+# SpMSpV kernels
+# ----------------------------------------------------------------------
+@given(graphs(max_n=24), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_csc_csr_kernels_always_agree(g, seed):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    rng = np.random.default_rng(seed)
+    nnz = rng.integers(0, n + 1)
+    idx = np.sort(rng.choice(n, size=nnz, replace=False)).astype(np.int64)
+    x = SparseVector(n, idx, rng.integers(0, 10, nnz).astype(np.float64))
+    csc = CSCMatrix.from_coo(A.to_coo())
+    for sr in (SELECT2ND_MIN, PLUS_TIMES):
+        assert spmspv_csc(csc, x, sr) == spmspv_csr(A, x, sr)
+
+
+# ----------------------------------------------------------------------
+# Distributed bucket sort
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1, 3),  # grid side
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_bucket_sortperm_always_matches_serial(side, seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(side * side, 40))
+    nnz = int(rng.integers(1, n + 1))
+    base = int(rng.integers(0, 50))
+    span = int(rng.integers(1, 20))
+    idx = np.sort(rng.choice(n, size=nnz, replace=False)).astype(np.int64)
+    x = SparseVector(n, idx, rng.integers(base, base + span, nnz).astype(np.float64))
+    degrees = rng.integers(0, 6, n).astype(np.float64)
+    ctx = DistContext(ProcessGrid(side, side), zero_latency())
+    out = d_sortperm(
+        DistSparseVector.from_sparse(ctx, x),
+        DistDenseVector.from_global(ctx, degrees),
+        base,
+        span,
+        "t",
+    )
+    assert out.to_sparse() == sortperm(x, degrees)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_profile_bounded_by_n_times_bandwidth(g):
+    from repro.core import profile
+
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    assert profile(A) <= n * bandwidth(A)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_reversal_preserves_bandwidth(g):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    perm = rcm_serial(A).perm
+    assert bandwidth_of_permutation(A, perm) == bandwidth_of_permutation(
+        A, perm[::-1].copy()
+    )

@@ -1,0 +1,88 @@
+"""Second hypothesis batch: solver, validation, GPS, distributed permute."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gps import gps_ordering
+from repro.baselines.sloan import sloan_ordering
+from repro.core import rcm_serial
+from repro.core.validation import validate_cm_structure
+from repro.distributed import DistContext, DistSparseMatrix
+from repro.distributed.permute import permute_distributed
+from repro.machine import ProcessGrid, zero_latency
+from repro.solvers.skyline import SkylineCholesky
+from repro.solvers.solve_model import laplacian_like_values
+from repro.sparse import is_permutation, permute_symmetric
+from tests.conftest import csr_from_edges
+
+
+@st.composite
+def graphs(draw, max_n=22):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=min(n * 2, 40)))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_skyline_solves_any_laplacian(A):
+    spd = laplacian_like_values(A)
+    chol = SkylineCholesky(spd)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.nrows)
+    x = chol.solve(b)
+    assert np.allclose(spd.matvec(x), b, atol=1e-6)
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_rcm_always_passes_validation(A):
+    report = validate_cm_structure(A, rcm_serial(A))
+    assert report.ok, report.problems
+
+
+@given(graphs())
+@settings(max_examples=20, deadline=None)
+def test_gps_always_valid(A):
+    assert is_permutation(gps_ordering(A).perm, A.nrows)
+
+
+@given(graphs())
+@settings(max_examples=15, deadline=None)
+def test_sloan_always_valid(A):
+    assert is_permutation(sloan_ordering(A).perm, A.nrows)
+
+
+@given(graphs(max_n=16), st.integers(0, 2**31 - 1), st.sampled_from([1, 4, 9]))
+@settings(max_examples=15, deadline=None)
+def test_distributed_permute_matches_serial(A, seed, p):
+    ctx = DistContext(ProcessGrid.square(p), zero_latency())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    perm = np.random.default_rng(seed).permutation(A.nrows).astype(np.int64)
+    out = permute_distributed(dA, perm)
+    assert np.array_equal(
+        out.to_csr().to_dense(), permute_symmetric(A, perm).to_dense()
+    )
+
+
+@given(graphs())
+@settings(max_examples=20, deadline=None)
+def test_skyline_storage_invariant_under_rcm_improvement(A):
+    """RCM never increases the skyline storage versus the input order on
+    these Laplacians... it CAN on already-banded graphs, so assert the
+    weaker exact-storage identity instead: storage == n + profile."""
+    from repro.core.metrics import profile
+    from repro.solvers.skyline import envelope_storage
+
+    spd = laplacian_like_values(A)
+    assert envelope_storage(spd) == spd.nrows + profile(spd)

@@ -1,0 +1,59 @@
+"""Public API tests: the README/quickstart surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    bandwidth,
+    bandwidth_of_permutation,
+    rcm,
+    rcm_distributed,
+    rcm_serial,
+)
+from repro.matrices import stencil_2d
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_rcm_serial_default(grid8x8):
+    o = rcm(grid8x8)
+    assert o.n == 64
+    assert bandwidth_of_permutation(grid8x8, o.perm) <= bandwidth(grid8x8) * 2
+
+
+def test_rcm_distributed_entry(grid8x8):
+    o = rcm(grid8x8, nprocs=4)
+    assert np.array_equal(o.perm, rcm_serial(grid8x8).perm)
+
+
+def test_rcm_kwargs_forwarded(grid8x8):
+    o = rcm(grid8x8, nprocs=4, sort_impl="sample")
+    assert np.array_equal(o.perm, rcm_serial(grid8x8).perm)
+
+
+def test_rcm_serial_rejects_distributed_kwargs(grid8x8):
+    with pytest.raises(TypeError):
+        rcm(grid8x8, random_permute=1)
+
+
+def test_docstring_example():
+    A = stencil_2d(30, 30)
+    ordering = rcm(A)
+    assert bandwidth_of_permutation(A, ordering.perm) <= 62
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_matrix_market_exports(tmp_path, grid8x8):
+    from repro import read_matrix_market, write_matrix_market
+
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, grid8x8.to_coo(), symmetric=True)
+    back = read_matrix_market(path)
+    assert back.nnz == grid8x8.nnz

@@ -1,0 +1,139 @@
+"""Algebraic RCM (Algorithms 3+4 over Table I primitives) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    find_pseudo_peripheral,
+    pseudo_peripheral_algebraic,
+    rcm_algebraic,
+    rcm_serial,
+)
+from repro.core.primitives import (
+    ind,
+    read_dense,
+    reduce_argmin,
+    reduce_min,
+    select,
+    set_dense,
+    sortperm,
+)
+from repro.sparse import CSCMatrix, SparseVector, is_permutation
+from tests.conftest import csr_from_edges
+
+
+# ----------------------------------------------------------------------
+# Primitive semantics (Table I)
+# ----------------------------------------------------------------------
+def test_ind():
+    x = SparseVector.from_pairs(5, [1, 4], [10.0, 20.0])
+    assert np.array_equal(ind(x), [1, 4])
+
+
+def test_select_keeps_matching():
+    x = SparseVector.from_pairs(5, [1, 2, 4], [1.0, 2.0, 3.0])
+    y = np.array([0.0, -1.0, 5.0, 0.0, -1.0])
+    out = select(x, y, lambda v: v == -1.0)
+    assert np.array_equal(out.indices, [1, 4])
+    assert np.array_equal(out.values, [1.0, 3.0])
+
+
+def test_select_length_mismatch():
+    x = SparseVector.empty(5)
+    with pytest.raises(ValueError):
+        select(x, np.zeros(4), lambda v: v == 0)
+
+
+def test_set_dense_scatters():
+    y = np.zeros(5)
+    x = SparseVector.from_pairs(5, [0, 3], [7.0, 8.0])
+    set_dense(y, x)
+    assert np.array_equal(y, [7.0, 0.0, 0.0, 8.0, 0.0])
+
+
+def test_read_dense_gathers():
+    y = np.array([10.0, 11.0, 12.0])
+    x = SparseVector.from_pairs(3, [0, 2], [0.0, 0.0])
+    out = read_dense(x, y)
+    assert np.array_equal(out.values, [10.0, 12.0])
+
+
+def test_reduce_min():
+    x = SparseVector.from_pairs(4, [1, 3], [0.0, 0.0])
+    y = np.array([0.0, 9.0, 0.0, 4.0])
+    assert reduce_min(x, y) == 4.0
+
+
+def test_reduce_min_empty_is_inf():
+    assert reduce_min(SparseVector.empty(3), np.zeros(3)) == np.inf
+
+
+def test_reduce_argmin_tie_breaks_to_smallest_index():
+    x = SparseVector.from_pairs(5, [1, 2, 4], [0.0, 0.0, 0.0])
+    y = np.array([0.0, 3.0, 3.0, 0.0, 3.0])
+    assert reduce_argmin(x, y) == 1
+
+
+def test_reduce_argmin_empty_raises():
+    with pytest.raises(ValueError):
+        reduce_argmin(SparseVector.empty(3), np.zeros(3))
+
+
+def test_sortperm_lexicographic():
+    # tuples: (parent, degree, id) for ids [0, 2, 3]
+    x = SparseVector.from_pairs(4, [0, 2, 3], [2.0, 1.0, 1.0])
+    degrees = np.array([9.0, 0.0, 5.0, 5.0])
+    out = sortperm(x, degrees)
+    # id 2: (1,5,2) rank 0; id 3: (1,5,3) rank 1; id 0: (2,9,0) rank 2
+    assert np.array_equal(out.values[out.indices == 2], [0.0])
+    assert np.array_equal(out.values[out.indices == 3], [1.0])
+    assert np.array_equal(out.values[out.indices == 0], [2.0])
+
+
+def test_sortperm_empty():
+    out = sortperm(SparseVector.empty(3), np.zeros(3))
+    assert out.nnz == 0
+
+
+# ----------------------------------------------------------------------
+# Algorithms 3 + 4
+# ----------------------------------------------------------------------
+def test_pseudo_peripheral_algebraic_matches_serial(grid8x8):
+    A = CSCMatrix.from_coo(grid8x8.to_coo())
+    degrees = grid8x8.degrees()
+    for start in (0, 27, 63):
+        serial = find_pseudo_peripheral(grid8x8, start, degrees)
+        v, nlv, count = pseudo_peripheral_algebraic(A, degrees, start)
+        assert v == serial.vertex
+        assert nlv == serial.nlevels
+        assert count == serial.bfs_count
+
+
+def test_rcm_algebraic_equals_serial(grid8x8, random_graph, two_components):
+    for A in (grid8x8, random_graph, two_components):
+        assert np.array_equal(rcm_algebraic(A).perm, rcm_serial(A).perm)
+
+
+def test_rcm_algebraic_valid_on_star(star7):
+    o = rcm_algebraic(star7)
+    assert is_permutation(o.perm, 7)
+
+
+def test_rcm_algebraic_with_isolated(with_isolated):
+    o = rcm_algebraic(with_isolated)
+    assert is_permutation(o.perm, 4)
+    assert np.array_equal(o.perm, rcm_serial(with_isolated).perm)
+
+
+def test_rcm_algebraic_start_respected(grid8x8):
+    o1 = rcm_algebraic(grid8x8, start=0)
+    o2 = rcm_serial(grid8x8, start=0)
+    assert np.array_equal(o1.perm, o2.perm)
+
+
+def test_metadata_matches(random_graph):
+    a = rcm_algebraic(random_graph)
+    s = rcm_serial(random_graph)
+    assert a.roots == s.roots
+    assert a.levels_per_component == s.levels_per_component
+    assert a.peripheral_bfs_count == s.peripheral_bfs_count

@@ -1,0 +1,74 @@
+"""The 'not sorting at all' future-work variant (paper, Conclusion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import rcm_algebraic, rcm_serial
+from repro.core.metrics import bandwidth_of_permutation
+from repro.distributed import rcm_distributed
+from repro.machine import MachineParams, ProcessGrid, zero_latency
+from repro.matrices import stencil_2d
+from repro.sparse import is_permutation, random_symmetric_permutation
+
+
+@pytest.fixture
+def scrambled():
+    A, _ = random_symmetric_permutation(stencil_2d(12, 12), 3)
+    return A
+
+
+def test_nosort_is_valid_permutation(scrambled):
+    o = rcm_algebraic(scrambled, sorted_levels=False)
+    assert is_permutation(o.perm, scrambled.nrows)
+
+
+@pytest.mark.parametrize("p", [1, 4, 9])
+def test_distributed_none_matches_serial_nosort(scrambled, p):
+    serial = rcm_algebraic(scrambled, sorted_levels=False)
+    dist = rcm_distributed(
+        scrambled, nprocs=p, machine=zero_latency(), sort_impl="none"
+    )
+    assert np.array_equal(dist.ordering.perm, serial.perm)
+
+
+def test_nosort_quality_sacrifice_is_bounded(scrambled):
+    """No-sort still tracks the level structure, so bandwidth stays within
+    a small factor of sorted RCM (that's why the paper considers it)."""
+    sorted_bw = bandwidth_of_permutation(scrambled, rcm_serial(scrambled).perm)
+    nosort_bw = bandwidth_of_permutation(
+        scrambled, rcm_algebraic(scrambled, sorted_levels=False).perm
+    )
+    assert nosort_bw >= sorted_bw  # it is a sacrifice...
+    assert nosort_bw <= 4 * sorted_bw  # ...but a bounded one
+
+
+def test_nosort_cheaper_sort_region(scrambled):
+    machine = MachineParams()
+    from repro.distributed import DistContext
+
+    a = rcm_distributed(
+        scrambled,
+        ctx=DistContext(ProcessGrid(3, 3), machine),
+        random_permute=0,
+        sort_impl="bucket",
+    )
+    b = rcm_distributed(
+        scrambled,
+        ctx=DistContext(ProcessGrid(3, 3), machine),
+        random_permute=0,
+        sort_impl="none",
+    )
+    assert (
+        b.ledger.prefix("ordering:sort").total_seconds
+        < a.ledger.prefix("ordering:sort").total_seconds
+    )
+
+
+def test_unknown_sort_impl_rejected(scrambled):
+    with pytest.raises(ValueError):
+        rcm_distributed(scrambled, nprocs=1, sort_impl="quantum")
+
+
+def test_algorithm_name_marks_variant(scrambled):
+    o = rcm_algebraic(scrambled, sorted_levels=False)
+    assert "nosort" in o.algorithm

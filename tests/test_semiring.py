@@ -1,0 +1,83 @@
+"""Semiring definitions and axioms."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    BOOLEAN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    SELECT2ND_MAX,
+    SELECT2ND_MIN,
+    STANDARD_SEMIRINGS,
+)
+
+
+def test_select2nd_min_multiply_ignores_matrix_values():
+    a = np.array([3.0, 4.0])
+    x = np.array([7.0, 8.0])
+    assert np.array_equal(SELECT2ND_MIN.multiply(a, x), x)
+
+
+def test_select2nd_min_add_is_minimum():
+    assert np.array_equal(
+        SELECT2ND_MIN.add(np.array([3.0]), np.array([1.0])), [1.0]
+    )
+
+
+def test_select2nd_min_identity_absorbs():
+    vals = np.array([5.0, SELECT2ND_MIN.add_identity])
+    assert SELECT2ND_MIN.reduce(vals) == 5.0
+
+
+def test_reduce_empty_gives_identity():
+    assert SELECT2ND_MIN.reduce(np.array([])) == np.inf
+    assert PLUS_TIMES.reduce(np.array([])) == 0.0
+
+
+def test_select2nd_max():
+    assert SELECT2ND_MAX.reduce(np.array([2.0, 9.0, 4.0])) == 9.0
+
+
+def test_plus_times_matches_arithmetic():
+    a = np.array([2.0, 3.0])
+    x = np.array([5.0, 7.0])
+    assert np.array_equal(PLUS_TIMES.multiply(a, x), [10.0, 21.0])
+    assert PLUS_TIMES.reduce(np.array([10.0, 21.0])) == 31.0
+
+
+def test_min_plus_shortest_path_semantics():
+    a = np.array([1.0, 2.0])  # edge weights
+    x = np.array([4.0, 1.0])  # tentative distances
+    prod = MIN_PLUS.multiply(a, x)
+    assert np.array_equal(prod, [5.0, 3.0])
+    assert MIN_PLUS.reduce(prod) == 3.0
+
+
+def test_boolean_semiring():
+    a = np.array([1.0, 1.0, 0.0])
+    x = np.array([0.0, 1.0, 1.0])
+    prod = BOOLEAN.multiply(a, x)
+    assert np.array_equal(prod, [0.0, 1.0, 0.0])
+    assert BOOLEAN.reduce(prod) == 1.0
+
+
+def test_registry_contains_all():
+    assert "(select2nd, min)" in STANDARD_SEMIRINGS
+    assert len(STANDARD_SEMIRINGS) == 5
+
+
+@pytest.mark.parametrize("sr", list(STANDARD_SEMIRINGS.values()), ids=lambda s: s.name)
+def test_add_commutative(sr):
+    rng = np.random.default_rng(0)
+    a, b = rng.random(50), rng.random(50)
+    assert np.array_equal(sr.add(a, b), sr.add(b, a))
+
+
+@pytest.mark.parametrize("sr", list(STANDARD_SEMIRINGS.values()), ids=lambda s: s.name)
+def test_add_associative(sr):
+    rng = np.random.default_rng(1)
+    a, b, c = rng.random(50), rng.random(50), rng.random(50)
+    left = sr.add(sr.add(a, b), c)
+    right = sr.add(a, sr.add(b, c))
+    assert np.allclose(np.asarray(left, dtype=np.float64), np.asarray(right, dtype=np.float64))

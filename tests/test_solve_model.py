@@ -1,0 +1,81 @@
+"""Fig. 1 end-to-end solve-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import natural_ordering
+from repro.core import rcm_serial
+from repro.matrices import thermal2_like
+from repro.solvers import model_cg_solve
+from repro.solvers.solve_model import laplacian_like_values
+from repro.matrices import stencil_2d
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    return thermal2_like(0.4)  # 24x24 scrambled grid
+
+
+def test_laplacian_like_is_spd(grid8x8):
+    A = laplacian_like_values(grid8x8)
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+    eigs = np.linalg.eigvalsh(dense)
+    assert eigs.min() > 0
+
+
+def test_laplacian_diagonal_dominance(grid8x8):
+    A = laplacian_like_values(grid8x8)
+    dense = A.to_dense()
+    off = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+    assert np.all(np.diag(dense) >= off + 1 - 1e-12)
+
+
+def test_single_core_direct_solve(thermal):
+    point = model_cg_solve(thermal, natural_ordering(thermal), 1, tol=1e-6)
+    # one block == exact preconditioner == 1 iteration
+    assert point.iterations <= 1
+    assert point.coverage == pytest.approx(1.0)
+
+
+def test_converges_at_all_core_counts(thermal):
+    rcm = rcm_serial(thermal)
+    for cores in (1, 4, 16):
+        point = model_cg_solve(thermal, rcm, cores, tol=1e-6)
+        assert point.converged
+
+
+def test_rcm_coverage_beats_natural(thermal):
+    rcm = rcm_serial(thermal)
+    nat = natural_ordering(thermal)
+    p_r = model_cg_solve(thermal, rcm, 16, tol=1e-6)
+    p_n = model_cg_solve(thermal, nat, 16, tol=1e-6)
+    assert p_r.coverage > p_n.coverage
+
+
+def test_rcm_never_slower_and_advantage_grows(thermal):
+    """The Fig. 1 headline shape."""
+    rcm = rcm_serial(thermal)
+    nat = natural_ordering(thermal)
+    speedups = []
+    for cores in (4, 16, 64):
+        p_r = model_cg_solve(thermal, rcm, cores, tol=1e-6)
+        p_n = model_cg_solve(thermal, nat, cores, tol=1e-6)
+        speedups.append(p_n.total_seconds / p_r.total_seconds)
+    assert all(s >= 0.95 for s in speedups)
+    assert speedups[-1] > speedups[0]
+
+
+def test_iterations_increase_with_more_blocks(thermal):
+    """Weaker preconditioner with more blocks -> more CG iterations."""
+    rcm = rcm_serial(thermal)
+    few = model_cg_solve(thermal, rcm, 4, tol=1e-6)
+    many = model_cg_solve(thermal, rcm, 64, tol=1e-6)
+    assert many.iterations >= few.iterations
+
+
+def test_total_seconds_product(thermal):
+    point = model_cg_solve(thermal, natural_ordering(thermal), 4, tol=1e-6)
+    assert point.total_seconds == pytest.approx(
+        point.iterations * point.per_iteration_seconds
+    )

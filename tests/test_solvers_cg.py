@@ -1,0 +1,104 @@
+"""Conjugate gradient solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import conjugate_gradient
+from repro.solvers.solve_model import laplacian_like_values
+from repro.sparse import CSRMatrix
+from repro.matrices import stencil_2d
+
+
+@pytest.fixture
+def spd_system():
+    A = laplacian_like_values(stencil_2d(6, 6))
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.nrows)
+    return A, b
+
+
+def test_converges_on_spd(spd_system):
+    A, b = spd_system
+    res = conjugate_gradient(A, b, tol=1e-10)
+    assert res.converged
+    assert np.linalg.norm(A.matvec(res.x) - b) <= 1e-9 * np.linalg.norm(b)
+
+
+def test_residuals_recorded(spd_system):
+    A, b = spd_system
+    res = conjugate_gradient(A, b, tol=1e-8)
+    assert len(res.residual_norms) == res.iterations + 1
+    assert res.final_residual < res.residual_norms[0]
+
+
+def test_zero_rhs_converges_immediately():
+    A = laplacian_like_values(stencil_2d(4, 4))
+    res = conjugate_gradient(A, np.zeros(A.nrows))
+    assert res.converged and res.iterations == 0
+
+
+def test_identity_solves_in_one_iteration():
+    A = CSRMatrix.identity(10)
+    b = np.arange(10, dtype=np.float64)
+    res = conjugate_gradient(A, b)
+    assert res.converged
+    assert res.iterations <= 1
+    assert np.allclose(res.x, b)
+
+
+def test_max_iterations_respected(spd_system):
+    A, b = spd_system
+    res = conjugate_gradient(A, b, tol=1e-14, max_iterations=2)
+    assert not res.converged
+    assert res.iterations == 2
+
+
+def test_preconditioner_helps_or_matches(spd_system):
+    A, b = spd_system
+    from repro.solvers import BlockJacobiPreconditioner
+
+    plain = conjugate_gradient(A, b, tol=1e-10)
+    pre = BlockJacobiPreconditioner(A, 4)
+    precond = conjugate_gradient(A, b, preconditioner=pre.apply, tol=1e-10)
+    assert precond.converged
+    assert precond.iterations <= plain.iterations
+
+
+def test_strong_preconditioner_cuts_iterations(spd_system):
+    """A 2-block preconditioner on a banded SPD system must beat plain CG."""
+    A, b = spd_system
+    from repro.solvers import BlockJacobiPreconditioner
+
+    plain = conjugate_gradient(A, b, tol=1e-10)
+    pre = BlockJacobiPreconditioner(A, 2)
+    precond = conjugate_gradient(A, b, preconditioner=pre.apply, tol=1e-10)
+    assert precond.converged
+    assert precond.iterations < plain.iterations
+
+
+def test_x0_used(spd_system):
+    A, b = spd_system
+    exact = conjugate_gradient(A, b, tol=1e-12).x
+    res = conjugate_gradient(A, b, x0=exact, tol=1e-8)
+    assert res.iterations == 0
+
+
+def test_wrong_rhs_shape_rejected(spd_system):
+    A, _ = spd_system
+    with pytest.raises(ValueError):
+        conjugate_gradient(A, np.zeros(3))
+
+
+def test_indefinite_reported_not_converged():
+    # -I is negative definite: pAp < 0 on the first step
+    dense = -np.eye(4)
+    A = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(A, np.ones(4), tol=1e-12)
+    assert not res.converged
+
+
+def test_cg_matches_numpy_solve(spd_system):
+    A, b = spd_system
+    res = conjugate_gradient(A, b, tol=1e-12)
+    expected = np.linalg.solve(A.to_dense(), b)
+    assert np.allclose(res.x, expected, atol=1e-6)

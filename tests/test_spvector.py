@@ -1,0 +1,91 @@
+"""Unit tests for the CombBLAS-style sparse vector."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SparseVector
+
+
+def test_empty():
+    x = SparseVector.empty(10)
+    assert x.n == 10 and x.nnz == 0 and x.is_empty()
+
+
+def test_single():
+    x = SparseVector.single(5, 3, 7.0)
+    assert x.nnz == 1
+    assert x.to_dense()[3] == 7.0
+
+
+def test_from_pairs_sorts():
+    x = SparseVector.from_pairs(6, [4, 1, 3], [40.0, 10.0, 30.0])
+    assert np.array_equal(x.indices, [1, 3, 4])
+    assert np.array_equal(x.values, [10.0, 30.0, 40.0])
+
+
+def test_from_pairs_rejects_duplicates():
+    with pytest.raises(ValueError):
+        SparseVector.from_pairs(6, [1, 1], [1.0, 2.0])
+
+
+def test_unsorted_indices_rejected():
+    with pytest.raises(ValueError):
+        SparseVector(5, np.array([3, 1]), np.array([1.0, 2.0]))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        SparseVector(3, np.array([3]), np.array([1.0]))
+
+
+def test_to_dense_fill():
+    x = SparseVector.from_pairs(4, [1], [5.0])
+    d = x.to_dense(fill=-1.0)
+    assert np.array_equal(d, [-1.0, 5.0, -1.0, -1.0])
+
+
+def test_from_dense_mask():
+    vals = np.array([9.0, 8.0, 7.0, 6.0])
+    mask = np.array([True, False, True, False])
+    x = SparseVector.from_dense_mask(mask, vals)
+    assert np.array_equal(x.indices, [0, 2])
+    assert np.array_equal(x.values, [9.0, 7.0])
+
+
+def test_with_values_preserves_structure():
+    x = SparseVector.from_pairs(5, [0, 2], [1.0, 2.0])
+    y = x.with_values(np.array([5.0, 6.0]))
+    assert np.array_equal(y.indices, x.indices)
+    assert np.array_equal(y.values, [5.0, 6.0])
+
+
+def test_with_values_wrong_length():
+    x = SparseVector.from_pairs(5, [0, 2], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        x.with_values(np.array([1.0]))
+
+
+def test_restrict():
+    x = SparseVector.from_pairs(5, [0, 2, 4], [1.0, 2.0, 3.0])
+    y = x.restrict(np.array([True, False, True]))
+    assert np.array_equal(y.indices, [0, 4])
+    assert np.array_equal(y.values, [1.0, 3.0])
+
+
+def test_equality():
+    a = SparseVector.from_pairs(5, [1], [2.0])
+    b = SparseVector.from_pairs(5, [1], [2.0])
+    c = SparseVector.from_pairs(5, [1], [3.0])
+    assert a == b and a != c
+
+
+def test_nbytes_wire_size():
+    x = SparseVector.from_pairs(5, [0, 1, 2], [1.0, 2.0, 3.0])
+    assert x.nbytes() == 3 * 16
+
+
+def test_copy_is_independent():
+    x = SparseVector.from_pairs(5, [1], [2.0])
+    y = x.copy()
+    y.values[0] = 99.0
+    assert x.values[0] == 2.0

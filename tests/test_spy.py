@@ -1,0 +1,48 @@
+"""ASCII spy plot tests."""
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, COOMatrix
+from repro.sparse.spy import spy
+from repro.matrices import path_graph, stencil_2d
+
+
+def test_empty_matrix():
+    assert spy(CSRMatrix.from_coo(COOMatrix.empty(0, 0))) == "(empty matrix)"
+
+
+def test_dimensions_of_output():
+    out = spy(stencil_2d(10, 10), width=20)
+    lines = out.splitlines()
+    assert len(lines) == 20 + 3  # two borders + footer
+    assert all(len(l) == 22 for l in lines[:-1])
+
+
+def test_footer_reports_stats():
+    A = path_graph(10)
+    assert f"n={A.nrows}, nnz={A.nnz}" in spy(A)
+
+
+def test_diagonal_band_visible():
+    A = path_graph(100)
+    out = spy(A, width=10)
+    body = out.splitlines()[1:11]
+    # banded matrix: only near-diagonal cells populated
+    for r, line in enumerate(body):
+        row = line[1:-1]
+        marked = {c for c, ch in enumerate(row) if ch != " "}
+        assert marked, "diagonal cell must be marked"
+        assert all(abs(c - r) <= 1 for c in marked)
+
+
+def test_zero_matrix_blank_body():
+    A = CSRMatrix.from_coo(COOMatrix.empty(5, 5))
+    out = spy(A, width=5)
+    body = out.splitlines()[1:6]
+    assert all(set(line[1:-1]) == {" "} for line in body)
+
+
+def test_width_clamped_to_dimension():
+    A = path_graph(3)
+    out = spy(A, width=50)
+    assert len(out.splitlines()) == 3 + 3  # clamped to n=3 cells

@@ -1,0 +1,110 @@
+"""Paper-suite surrogate tests: structural regimes match Fig. 3."""
+
+import numpy as np
+import pytest
+
+from repro.core import bandwidth, is_connected, rcm_serial
+from repro.matrices import PAPER_SUITE, build_suite, thermal2_like
+from repro.sparse import is_structurally_symmetric
+
+SCALE = 0.6  # keep CI fast; regimes hold at any scale
+
+
+def test_suite_has_nine_entries():
+    assert len(PAPER_SUITE) == 9
+    assert set(PAPER_SUITE) == {
+        "nd24k",
+        "ldoor",
+        "serena",
+        "audikw_1",
+        "dielFilterV3real",
+        "flan_1565",
+        "li7nmax6",
+        "nm7",
+        "nlpkkt240",
+    }
+
+
+@pytest.mark.parametrize("name", list(PAPER_SUITE))
+def test_surrogates_connected_symmetric_loopless(name):
+    A = PAPER_SUITE[name].build(SCALE)
+    assert is_connected(A)
+    assert is_structurally_symmetric(A)
+    for i in range(0, A.nrows, max(A.nrows // 50, 1)):
+        assert i not in A.row(i)
+
+
+def test_scrambled_entries_have_large_pre_bandwidth():
+    for name in ("nd24k", "ldoor", "audikw_1", "nlpkkt240"):
+        A = PAPER_SUITE[name].build(SCALE)
+        assert bandwidth(A) > 0.5 * A.nrows, name
+
+
+def test_unscrambled_entries_are_banded():
+    for name in ("serena", "flan_1565"):
+        A = PAPER_SUITE[name].build(SCALE)
+        assert bandwidth(A) < 0.2 * A.nrows, name
+
+
+def test_pseudo_diameter_ordering_matches_paper():
+    """Relative diameter regimes: CI blocks << 3D meshes << thin meshes."""
+    pds = {}
+    for name in ("li7nmax6", "nd24k", "serena", "ldoor"):
+        A = PAPER_SUITE[name].build(SCALE)
+        pds[name] = rcm_serial(A).pseudo_diameter()
+    assert pds["li7nmax6"] < pds["nd24k"] < pds["serena"] < pds["ldoor"]
+
+
+def test_ci_matrices_are_heavy():
+    """Nuclear-CI surrogates: much denser rows than the mesh matrices."""
+    li7 = PAPER_SUITE["li7nmax6"].build(SCALE)
+    ld = PAPER_SUITE["ldoor"].build(SCALE)
+    assert li7.nnz / li7.nrows > 10 * (ld.nnz / ld.nrows)
+
+
+def test_build_suite_selection():
+    out = build_suite(SCALE, names=["nd24k", "serena"])
+    assert set(out) == {"nd24k", "serena"}
+
+
+def test_build_suite_unknown_name():
+    with pytest.raises(KeyError):
+        build_suite(SCALE, names=["nope"])
+
+
+def test_build_deterministic():
+    a = PAPER_SUITE["ldoor"].build(SCALE)
+    b = PAPER_SUITE["ldoor"].build(SCALE)
+    assert np.array_equal(a.indices, b.indices)
+
+
+def test_scale_grows_problem():
+    small = PAPER_SUITE["serena"].build(0.5)
+    large = PAPER_SUITE["serena"].build(1.0)
+    assert large.nrows > small.nrows
+
+
+def test_paper_stats_recorded():
+    e = PAPER_SUITE["ldoor"]
+    assert e.paper.pseudo_diameter == 178
+    assert e.paper.bw_pre == 686_979
+
+
+def test_thermal2_like_profile():
+    A = thermal2_like(0.5)
+    assert is_connected(A)
+    o = rcm_serial(A)
+    q = o.quality(A)
+    # scrambled pre-bandwidth ~ n, post ~ sqrt(n): the Fig. 1 regime
+    assert q.bw_before > 0.5 * A.nrows
+    assert q.bw_after < 4 * int(np.sqrt(A.nrows))
+
+
+def test_nlpkkt_has_kkt_block_structure():
+    A = PAPER_SUITE["nlpkkt240"].build(SCALE)
+    # constraint vertices (the last third) have low degree; primal higher
+    n = A.nrows
+    deg = A.degrees()
+    primal = deg[: 2 * n // 3].mean()
+    constraint = deg[2 * n // 3 :].mean()
+    assert constraint < primal

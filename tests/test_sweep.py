@@ -1,0 +1,56 @@
+"""Strong-scaling sweep driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweep import strong_scaling_rcm
+from repro.machine import edison
+from repro.matrices import stencil_2d
+
+
+@pytest.fixture(scope="module")
+def points():
+    A = stencil_2d(10, 10)
+    return strong_scaling_rcm(A, [1, 6, 24], machine=edison().scaled(1e-3))
+
+
+def test_one_point_per_core_count(points):
+    assert [p.cores for p in points] == [1, 6, 24]
+
+
+def test_configs_follow_allocation_rule(points):
+    assert points[0].config.nprocs == 1
+    assert points[1].config.threads_per_process == 6
+    assert points[2].config.grid.pr == 2
+
+
+def test_total_is_breakdown_sum(points):
+    for p in points:
+        assert p.total_seconds == pytest.approx(sum(p.breakdown.as_row()))
+
+
+def test_speedup_vs_base(points):
+    base = points[0]
+    assert base.speedup_vs(base) == pytest.approx(1.0)
+    assert points[1].speedup_vs(base) > 1.0
+
+
+def test_orderings_identical_across_sweep(points):
+    for p in points[1:]:
+        assert np.array_equal(p.ordering.perm, points[0].ordering.perm)
+
+
+def test_flat_vs_hybrid_axis():
+    A = stencil_2d(8, 8)
+    flat = strong_scaling_rcm(A, [16], threads_per_process=1, machine=edison())
+    hybrid = strong_scaling_rcm(A, [16], threads_per_process=6, machine=edison())
+    assert flat[0].config.nprocs == 16
+    assert hybrid[0].config.nprocs <= 4
+
+
+def test_random_permute_none_keeps_serial_equality():
+    from repro.core import rcm_serial
+
+    A = stencil_2d(7, 7)
+    pts = strong_scaling_rcm(A, [24], random_permute=None)
+    assert np.array_equal(pts[0].ordering.perm, rcm_serial(A).perm)

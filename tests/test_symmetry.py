@@ -1,0 +1,60 @@
+"""Structural symmetry utilities tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    is_structurally_symmetric,
+    strip_to_pattern,
+    symmetrize,
+)
+from tests.conftest import csr_from_edges
+
+
+def test_symmetric_graph_detected(path5):
+    assert is_structurally_symmetric(path5)
+
+
+def test_unsymmetric_pattern_detected():
+    m = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+    assert not is_structurally_symmetric(m)
+
+
+def test_rectangular_not_symmetric():
+    m = CSRMatrix.from_coo(COOMatrix.empty(2, 3))
+    assert not is_structurally_symmetric(m)
+
+
+def test_symmetrize_makes_symmetric():
+    m = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+    s = symmetrize(m)
+    assert is_structurally_symmetric(s)
+    assert s.to_dense()[1, 0] == 1.0
+
+
+def test_symmetrize_unit_values():
+    m = CSRMatrix.from_dense(np.array([[0.0, 5.0], [3.0, 0.0]]))
+    s = symmetrize(m)
+    assert np.array_equal(np.unique(s.data), [1.0])
+
+
+def test_symmetrize_requires_square():
+    m = CSRMatrix.from_coo(COOMatrix.empty(2, 3))
+    with pytest.raises(ValueError):
+        symmetrize(m)
+
+
+def test_symmetrize_idempotent_on_pattern(random_graph):
+    s1 = symmetrize(random_graph)
+    s2 = symmetrize(s1)
+    assert np.array_equal(s1.indptr, s2.indptr)
+    assert np.array_equal(s1.indices, s2.indices)
+
+
+def test_strip_to_pattern():
+    m = CSRMatrix.from_dense(np.array([[0.0, 5.0], [3.0, 0.0]]))
+    p = strip_to_pattern(m)
+    assert np.array_equal(np.unique(p.data), [1.0])
+    assert np.array_equal(p.indices, m.indices)

@@ -1,0 +1,67 @@
+"""Hybrid OpenMP+MPI configuration mapping tests."""
+
+import pytest
+
+from repro.machine import hybrid_configs_for_cores, paper_core_counts
+
+
+def test_one_core():
+    cfg = hybrid_configs_for_cores(1)
+    assert cfg.nprocs == 1 and cfg.threads_per_process == 1
+    assert cfg.cores == 1
+
+
+def test_six_cores_single_process():
+    cfg = hybrid_configs_for_cores(6, threads_per_process=6)
+    assert cfg.nprocs == 1 and cfg.threads_per_process == 6
+
+
+def test_24_cores_is_2x2_grid():
+    cfg = hybrid_configs_for_cores(24, threads_per_process=6)
+    assert (cfg.grid.pr, cfg.grid.pc) == (2, 2)
+    assert cfg.cores == 24
+
+
+def test_1014_cores_is_13x13_grid():
+    cfg = hybrid_configs_for_cores(1014, threads_per_process=6)
+    assert (cfg.grid.pr, cfg.grid.pc) == (13, 13)
+
+
+def test_4056_cores_is_26x26_grid():
+    cfg = hybrid_configs_for_cores(4056, threads_per_process=6)
+    assert (cfg.grid.pr, cfg.grid.pc) == (26, 26)
+
+
+def test_flat_mpi_uses_all_cores_as_ranks():
+    cfg = hybrid_configs_for_cores(64, threads_per_process=1)
+    assert cfg.nprocs == 64
+    assert (cfg.grid.pr, cfg.grid.pc) == (8, 8)
+
+
+def test_fewer_cores_than_threads():
+    cfg = hybrid_configs_for_cores(4, threads_per_process=6)
+    assert cfg.threads_per_process == 4
+    assert cfg.nprocs == 1
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(ValueError):
+        hybrid_configs_for_cores(0)
+
+
+def test_describe():
+    cfg = hybrid_configs_for_cores(24, 6)
+    assert "2x2" in cfg.describe()
+
+
+def test_paper_core_counts_hybrid():
+    counts = paper_core_counts(4056)
+    assert counts == [1, 6, 24, 54, 216, 1014, 4056]
+
+
+def test_paper_core_counts_truncated():
+    assert paper_core_counts(216) == [1, 6, 24, 54, 216]
+
+
+def test_paper_core_counts_flat():
+    assert paper_core_counts(256, small=True) == [1, 4, 16, 64, 256]

@@ -1,0 +1,74 @@
+"""CM structural-certificate validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ordering, cm_serial, rcm_serial
+from repro.core.validation import validate_cm_structure
+from repro.distributed import rcm_distributed
+from repro.machine import zero_latency
+from repro.matrices import stencil_2d
+from repro.sparse import random_symmetric_permutation
+from tests.conftest import csr_from_edges
+
+
+def test_rcm_passes_all_checks(grid8x8):
+    report = validate_cm_structure(grid8x8, rcm_serial(grid8x8))
+    assert report.ok, report.problems
+
+
+def test_cm_passes_with_reverse_false(grid8x8):
+    report = validate_cm_structure(grid8x8, cm_serial(grid8x8), reverse=False)
+    assert report.ok, report.problems
+
+
+def test_distributed_rcm_passes(random_graph):
+    res = rcm_distributed(random_graph, nprocs=4, machine=zero_latency())
+    report = validate_cm_structure(random_graph, res.ordering)
+    assert report.ok, report.problems
+
+
+def test_multi_component_passes(two_components):
+    report = validate_cm_structure(two_components, rcm_serial(two_components))
+    assert report.ok, report.problems
+
+
+def test_scrambled_mesh_passes():
+    A, _ = random_symmetric_permutation(stencil_2d(8, 8), 2)
+    report = validate_cm_structure(A, rcm_serial(A))
+    assert report.ok, report.problems
+
+
+def test_random_permutation_fails():
+    A = stencil_2d(6, 6)
+    rng = np.random.default_rng(1)
+    bogus = Ordering(perm=rng.permutation(36).astype(np.int64))
+    report = validate_cm_structure(A, bogus)
+    assert not report.ok
+    assert report.problems
+
+
+def test_natural_order_on_path_is_valid_cm(path5):
+    # the identity ordering on a path IS a CM ordering from vertex 0
+    o = Ordering(perm=np.arange(5, dtype=np.int64)[::-1].copy())
+    report = validate_cm_structure(path5, o)
+    assert report.ok
+
+
+def test_swapped_levels_detected(path5):
+    # path labels 0,1,2,3,4 are valid; swapping two mid labels breaks levels
+    perm = np.array([4, 3, 1, 2, 0], dtype=np.int64)  # swap of 2 and 3... reversed
+    o = Ordering(perm=perm)
+    report = validate_cm_structure(path5, o)
+    assert not report.ok
+
+
+def test_nosort_variant_still_passes():
+    """No-sort CM keeps level contiguity (it only drops within-level
+    degree sorting) — validation must accept it."""
+    from repro.core import rcm_algebraic
+
+    A, _ = random_symmetric_permutation(stencil_2d(7, 7), 9)
+    o = rcm_algebraic(A, sorted_levels=False)
+    report = validate_cm_structure(A, o)
+    assert report.ok, report.problems
