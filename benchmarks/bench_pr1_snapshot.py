@@ -1,0 +1,107 @@
+"""Regenerate ``BENCH_PR1.json`` — the PR-1 kernel-timing snapshot.
+
+Seeds the repo's benchmark trajectory with measured wall-clock numbers
+for the two hot-path changes this PR introduced:
+
+* the kernel backend layer — CSC SpMSpV wall time per backend over the
+  real frontiers of a full BFS (the fig5/csc-ablation kernel), plus the
+  dense SpMV kernel;
+* batched multi-source BFS — the lockstep pseudo-peripheral finder
+  against per-root Python BFS loops.
+
+Run from the repo root (writes ``BENCH_PR1.json`` there)::
+
+    PYTHONPATH=src python benchmarks/bench_pr1_snapshot.py
+
+A ``bench``-marked pytest wrapper lives in ``tests/test_bench_snapshot``;
+it is excluded from the tier-1 run (see pytest.ini).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SNAPSHOT_MATRICES = ["nd24k", "ldoor", "serena", "li7nmax6"]
+SNAPSHOT_SCALE = 1.0
+FINDER_STARTS = 8
+REPEATS = 3
+
+
+def snapshot(scale: float = SNAPSHOT_SCALE, repeats: int = REPEATS) -> dict:
+    from repro.backends import available_backends
+    from repro.bench.harness import (
+        best_of,
+        bfs_frontiers,
+        measure_finder_batching,
+        measure_spmspv_backends,
+    )
+    from repro.matrices.suite import PAPER_SUITE
+    from repro.semiring import PLUS_TIMES
+    from repro.semiring.spmspv import spmv_dense
+
+    backends = available_backends()
+    doc: dict = {
+        "snapshot": "PR1",
+        "scale": scale,
+        "backends": backends,
+        "matrices": {},
+    }
+    for name in SNAPSHOT_MATRICES:
+        A = PAPER_SUITE[name].build(scale)
+        entry: dict = {
+            "n": A.nrows,
+            "nnz": A.nnz,
+            "bfs_frontiers": len(bfs_frontiers(A)),
+        }
+
+        spmspv_s, kernels_identical = measure_spmspv_backends(A, repeats=repeats)
+        assert kernels_identical in (True, None), f"backend outputs diverged on {name}"
+        entry["spmspv_csc_seconds"] = spmspv_s
+
+        x_dense = np.linspace(0.0, 1.0, A.ncols)
+        entry["spmv_dense_seconds"] = {
+            b: best_of(repeats, spmv_dense, A, x_dense, PLUS_TIMES, backend=b)[0]
+            for b in backends
+        }
+
+        rng = np.random.default_rng(7)
+        starts = rng.choice(
+            A.nrows, min(FINDER_STARTS, A.nrows), replace=False
+        ).astype(np.int64)
+        looped_s, batched_s, identical = measure_finder_batching(
+            A, starts, repeats=repeats
+        )
+        assert identical, f"batched finder diverged on {name}"
+        entry["pseudo_peripheral"] = {
+            "starts": int(starts.size),
+            "looped_seconds": looped_s,
+            "batched_seconds": batched_s,
+            "speedup": looped_s / max(batched_s, 1e-300),
+        }
+        doc["matrices"][name] = entry
+
+    finder = [m["pseudo_peripheral"]["speedup"] for m in doc["matrices"].values()]
+    doc["summary"] = {
+        "batched_finder_min_speedup": min(finder),
+        "batched_finder_mean_speedup": float(np.mean(finder)),
+    }
+    return doc
+
+
+def main() -> int:
+    doc = snapshot()
+    out = ROOT / "BENCH_PR1.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc["summary"], indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Pluggable kernel backends for the hot sparse primitives.
+
+Every layer of the library (serial RCM, the algebraic formulation, the
+distributed runtime, solvers, and the bench harness) funnels its sparse
+kernel work — SpMSpV, dense SpMV, BFS frontier expansion — through the
+dispatchers in :mod:`repro.semiring.spmspv` and :mod:`repro.core.bfs`.
+Those dispatchers resolve a :class:`~repro.backends.base.KernelBackend`
+from this registry, so swapping the kernel implementation is one call
+(or one ``repro-bench --backend`` flag) with zero algorithm changes.
+
+Two backends ship:
+
+* ``"numpy"`` — the pure-numpy reference (always available, the oracle);
+* ``"scipy"`` — scipy.sparse compiled gathers (registered only when
+  scipy imports cleanly).
+
+Usage
+-----
+>>> from repro.backends import available_backends, use_backend
+>>> "numpy" in available_backends()
+True
+>>> with use_backend("numpy"):
+...     pass  # all kernel calls in this block use the numpy backend
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from .base import KernelBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_DEFAULT: str = "numpy"
+
+
+def register_backend(backend: KernelBackend, overwrite: bool = False) -> None:
+    """Add a backend instance to the registry under ``backend.name``."""
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def default_backend() -> str:
+    """Name of the process-wide default backend."""
+    return _DEFAULT
+
+
+def set_default_backend(name: str) -> None:
+    """Make ``name`` the process-wide default for all kernel dispatch."""
+    global _DEFAULT
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    _DEFAULT = name
+
+
+def get_backend(which: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve a backend: an instance passes through, a name looks up,
+    ``None`` returns the process-wide default."""
+    if isinstance(which, KernelBackend):
+        return which
+    if which is None:
+        which = _DEFAULT
+    try:
+        return _REGISTRY[which]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {which!r}; available: {available_backends()}"
+        ) from None
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily switch the process-wide default backend."""
+    global _DEFAULT
+    previous = _DEFAULT
+    set_default_backend(name)
+    try:
+        yield _REGISTRY[name]
+    finally:
+        _DEFAULT = previous
+
+
+register_backend(NumpyBackend())
+
+# scipy is optional: the backend registers only when its import succeeds,
+# so environments without scipy still expose the full numpy-backed API
+try:
+    from .scipy_backend import ScipyBackend
+except ImportError:  # pragma: no cover - depends on environment
+    ScipyBackend = None  # type: ignore[assignment,misc]
+else:
+    register_backend(ScipyBackend())

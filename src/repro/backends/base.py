@@ -1,0 +1,87 @@
+"""Kernel backend interface.
+
+A *kernel backend* supplies the four hot kernels every layer of the
+library is built on — the two SpMSpV flavors (paper Table I's ``SPMSPV``
+in CSC and CSR storage), the dense-vector semiring product, and BFS
+frontier expansion.  The algorithms (serial, algebraic, distributed) are
+written once against this interface; backends swap the *implementation*
+of each kernel without changing any result.  This mirrors the CombBLAS
+lineage the paper builds on, where the same algebraic RCM runs unchanged
+over interchangeable local kernels.
+
+Contract
+--------
+Backends must be *result-compatible* with the pure-numpy reference:
+
+* ``spmspv_csc`` / ``spmspv_csr`` return the same
+  :class:`~repro.sparse.spvector.SparseVector` structure (sorted unique
+  indices) and, for order-insensitive semiring adds (``min``, ``max``),
+  bit-identical payloads.  For floating ``(+, *)`` reductions payloads
+  agree to round-off.
+* ``expand_frontier`` returns exactly the same sorted unique vertex set.
+
+This is what keeps RCM orderings identical across backends — the paper's
+determinism guarantee must survive a backend swap, and the cross-backend
+tests enforce it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..semiring.semiring import Semiring
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.spvector import SparseVector
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """Uniform interface over the library's hot sparse kernels."""
+
+    #: Registry key; subclasses must override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def spmspv_csc(
+        self,
+        A: CSCMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        """``y = A x`` over semiring ``sr`` via column gathers."""
+
+    @abc.abstractmethod
+    def spmspv_csr(
+        self,
+        A: CSRMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        """``y = A x`` over semiring ``sr`` via a row-major kernel."""
+
+    @abc.abstractmethod
+    def spmv_dense(self, A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
+        """Dense-vector semiring product ``y = A x``."""
+
+    @abc.abstractmethod
+    def expand_frontier(
+        self,
+        A: CSRMatrix,
+        frontier: np.ndarray,
+        unvisited: np.ndarray,
+    ) -> np.ndarray:
+        """Sorted unique unvisited neighbors of the frontier vertices.
+
+        ``unvisited`` is a dense boolean mask of length ``A.nrows``; the
+        returned vertices all satisfy it.  This is the structural core of
+        one level-synchronous BFS step.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name!r}>"

@@ -1,0 +1,66 @@
+"""Pure-numpy kernel backend — the reference implementation.
+
+Wraps the vectorized numpy kernels in :mod:`repro.semiring.spmspv` and
+:mod:`repro.core.bfs`.  This backend has no dependencies beyond numpy,
+is always available, and is the oracle every other backend must match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..semiring.semiring import Semiring
+from ..semiring.spmspv import (
+    spmspv_csc_numpy,
+    spmspv_csr_numpy,
+    spmv_dense_numpy,
+)
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.spvector import SparseVector
+from .base import KernelBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Reference backend over vectorized numpy gathers."""
+
+    name = "numpy"
+
+    def spmspv_csc(
+        self,
+        A: CSCMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        return spmspv_csc_numpy(A, x, sr, mask)
+
+    def spmspv_csr(
+        self,
+        A: CSRMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        return spmspv_csr_numpy(A, x, sr, mask)
+
+    def spmv_dense(self, A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
+        return spmv_dense_numpy(A, x, sr)
+
+    def expand_frontier(
+        self,
+        A: CSRMatrix,
+        frontier: np.ndarray,
+        unvisited: np.ndarray,
+    ) -> np.ndarray:
+        from ..core.bfs import gather_rows
+
+        neigh = gather_rows(A, frontier)
+        if neigh.size == 0:
+            return neigh
+        # drop visited entries before the dedup sort — the multiset is
+        # dominated by backward edges on dense graphs
+        neigh = neigh[unvisited[neigh]]
+        return np.unique(neigh)

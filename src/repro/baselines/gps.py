@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.bfs import bfs_levels, gather_rows
+from ..core.bfs import bfs_levels
+from ..core.bfs_multi import masked_components
 from ..core.ordering import Ordering
 from ..core.pseudo_peripheral import find_pseudo_peripheral
 from ..sparse.csr import CSRMatrix
@@ -50,27 +51,22 @@ def _combined_levels(
     # width bookkeeping for both candidate assignments
     width_now = np.bincount(combined[members[settled]], minlength=length + 1)
 
-    # cluster the unsettled vertices into connected groups (BFS over the
-    # subgraph they induce), largest cluster assigned first (GPS rule)
+    # cluster the unsettled vertices into connected groups with one
+    # vectorized masked-component sweep (replacing per-cluster Python
+    # BFS restarts); largest cluster assigned first (GPS rule), ties by
+    # smallest member id — the discovery order of the old sequential scan
     mark = np.zeros(n, dtype=bool)
     mark[unsettled] = True
-    clusters: list[np.ndarray] = []
-    seen = np.zeros(n, dtype=bool)
-    for v in unsettled:
-        if seen[v]:
-            continue
-        frontier = np.array([v], dtype=np.int64)
-        seen[v] = True
-        acc = [frontier]
-        while frontier.size:
-            neigh = np.unique(gather_rows(A, frontier))
-            neigh = neigh[mark[neigh] & ~seen[neigh]]
-            seen[neigh] = True
-            if neigh.size:
-                acc.append(neigh)
-            frontier = neigh
-        clusters.append(np.concatenate(acc))
-    clusters.sort(key=lambda c: -c.size)
+    cluster_labels = masked_components(A, mark)
+    # group members by cluster label with one stable sort (O(u log u),
+    # independent of cluster count); within a cluster the stable sort
+    # keeps vertex ids ascending, so c[0] is the cluster's minimum
+    labs = cluster_labels[unsettled]
+    order = np.argsort(labs, kind="stable")
+    sorted_members, sorted_labs = unsettled[order], labs[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labs)) + 1
+    clusters = np.split(sorted_members, boundaries)
+    clusters.sort(key=lambda c: (-c.size, int(c[0])))
 
     for cluster in clusters:
         opt_s = np.bincount(ls[cluster], minlength=length + 1)

@@ -10,11 +10,16 @@ Run a single experiment::
 Run everything the paper reports::
 
     repro-bench all --quick
+
+Swap the kernel backend and emit machine-readable output::
+
+    repro-bench backend-ablation --quick --backend scipy --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -24,6 +29,8 @@ __all__ = ["main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ..backends import available_backends, default_backend
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description=(
@@ -55,20 +62,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict suite experiments to these matrices",
     )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=default_backend(),
+        help="kernel backend for every SpMSpV/BFS hot kernel",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit a JSON document (experiment name, wall seconds, report "
+            "text) instead of plain-text reports"
+        ),
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from ..backends import use_backend
+
     args = build_parser().parse_args(argv)
     chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in chosen:
-        t0 = time.perf_counter()
-        report = EXPERIMENTS[name](
-            scale=args.scale, quick=args.quick, names=args.matrices
+    records = []
+    with use_backend(args.backend):
+        for name in chosen:
+            t0 = time.perf_counter()
+            report = EXPERIMENTS[name](
+                scale=args.scale, quick=args.quick, names=args.matrices
+            )
+            elapsed = time.perf_counter() - t0
+            if args.json:
+                records.append(
+                    {"experiment": name, "seconds": elapsed, "report": report}
+                )
+            else:
+                print(report)
+                print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "backend": args.backend,
+                    "scale": args.scale,
+                    "quick": args.quick,
+                    "experiments": records,
+                },
+                indent=2,
+            )
         )
-        elapsed = time.perf_counter() - t0
-        print(report)
-        print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
     return 0
 
 

@@ -4,6 +4,8 @@ Modules
 -------
 ``bfs``
     Vectorized breadth-first search utilities (level structures).
+``bfs_multi``
+    Batched multi-source BFS and the lockstep pseudo-peripheral finder.
 ``metrics``
     Bandwidth, profile/envelope, pseudo-diameter (paper Section II.A).
 ``ordering``
@@ -21,6 +23,11 @@ Modules
 """
 
 from .bfs import bfs_levels, bfs_parents, gather_rows, level_sets
+from .bfs_multi import (
+    bfs_levels_multi,
+    find_pseudo_peripheral_multi,
+    masked_components,
+)
 from .level_structure import RootedLevelStructure, rooted_level_structure
 from .components import component_members, connected_components, is_connected
 from .metrics import (
@@ -44,6 +51,9 @@ __all__ = [
     "bfs_parents",
     "gather_rows",
     "level_sets",
+    "bfs_levels_multi",
+    "find_pseudo_peripheral_multi",
+    "masked_components",
     "connected_components",
     "component_members",
     "is_connected",

@@ -32,26 +32,31 @@ def gather_rows(A: CSRMatrix, rows: np.ndarray) -> np.ndarray:
     return A.indices[gather]
 
 
-def bfs_levels(A: CSRMatrix, root: int) -> tuple[np.ndarray, int]:
+def bfs_levels(A: CSRMatrix, root: int, backend=None) -> tuple[np.ndarray, int]:
     """Level of every vertex from ``root`` (-1 if unreachable).
 
     Returns ``(levels, nlevels)`` where ``nlevels`` counts nonempty levels
-    (the rooted level structure length, i.e. eccentricity + 1).
+    (the rooted level structure length, i.e. eccentricity + 1).  The
+    frontier-expansion kernel is supplied by the active kernel backend
+    (:mod:`repro.backends`); every backend returns identical levels.
     """
+    from ..backends import get_backend
+
     n = A.nrows
     if not (0 <= root < n):
         raise ValueError("root out of range")
+    kernels = get_backend(backend)
     levels = np.full(n, -1, dtype=np.int64)
+    unvisited = np.ones(n, dtype=bool)
     levels[root] = 0
+    unvisited[root] = False
     frontier = np.array([root], dtype=np.int64)
     depth = 0
     while frontier.size:
-        neigh = gather_rows(A, frontier)
-        if neigh.size:
-            neigh = np.unique(neigh)
-            neigh = neigh[levels[neigh] == -1]
+        neigh = kernels.expand_frontier(A, frontier, unvisited)
         depth += 1
         levels[neigh] = depth
+        unvisited[neigh] = False
         frontier = neigh
     # the loop runs once per nonempty level, so `depth` == level count
     return levels, depth

@@ -1,0 +1,178 @@
+"""Batched multi-source BFS: many level structures in one vectorized sweep.
+
+The pseudo-peripheral finder (paper Algorithm 2/4) and the GPS baseline
+both run *many* rooted BFS traversals — one per candidate root, one per
+connected component, two per GPS endpoint pair.  Running them one at a
+time costs a full Python ``while`` loop (and its per-level numpy call
+overhead) per root, which dominates the Fig. 4 scaling runs at small
+frontier sizes.  This module expands the level structures of many roots
+simultaneously: each sweep gathers the neighbors of *every* source's
+frontier in one ragged numpy gather, dedups ``(source, vertex)`` pairs
+with a single fused-key ``np.unique``, and writes all sources' next
+levels at once.
+
+Semantics per source are exactly those of
+:func:`repro.core.bfs.bfs_levels` — the equivalence tests pin every row
+of the batched result against the serial oracle — so the lockstep
+George-Liu finder (:func:`find_pseudo_peripheral_multi`) selects
+bit-identical vertices while performing one batched sweep per iteration
+instead of one Python BFS per root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .bfs import gather_rows
+
+__all__ = [
+    "bfs_levels_multi",
+    "find_pseudo_peripheral_multi",
+    "masked_components",
+]
+
+
+def bfs_levels_multi(
+    A: CSRMatrix, roots: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Levels from every root in ``roots``, expanded in lockstep.
+
+    Returns ``(levels, nlevels)`` where ``levels`` has shape
+    ``(len(roots), n)`` — row ``k`` is exactly
+    ``bfs_levels(A, roots[k])[0]`` — and ``nlevels[k]`` is the rooted
+    level structure length of root ``k``.  Duplicate roots are allowed
+    (each row is an independent traversal).
+    """
+    roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
+    k, n = roots.size, A.nrows
+    if k == 0:
+        return np.empty((0, n), dtype=np.int64), np.empty(0, dtype=np.int64)
+    if roots.min() < 0 or roots.max() >= n:
+        raise ValueError("root out of range")
+    # flat (source, vertex) key space: entry s*n + v is source s's level
+    # of vertex v; one flat array keeps every lookup a cheap 1D gather
+    levels_flat = np.full(k * n, -1, dtype=np.int64)
+    unvisited_flat = np.ones(k * n, dtype=bool)
+    src = np.arange(k, dtype=np.int64)
+    vtx = roots.copy()
+    root_keys = src * n + vtx
+    levels_flat[root_keys] = 0
+    unvisited_flat[root_keys] = False
+    depth = 0
+    while vtx.size:
+        # one ragged gather covers every source's frontier
+        lens = A.indptr[vtx + 1] - A.indptr[vtx]
+        children = gather_rows(A, vtx)
+        if children.size == 0:
+            break
+        # per-edge work is the batch's cost floor: one repeat of the
+        # precomputed s*n bases, one add, one bool gather — then drop
+        # already-visited pairs BEFORE the dedup sort, since on dense
+        # low-diameter graphs most edges lead backward
+        key = np.repeat(src * n, lens) + children
+        key = key[unvisited_flat[key]]
+        if key.size == 0:
+            break
+        # fused-key unique dedups (source, child) pairs; its ordering
+        # (src-major, child ascending) reproduces the per-source
+        # np.unique ordering of the serial sweep
+        uniq_key = np.unique(key)
+        depth += 1
+        levels_flat[uniq_key] = depth
+        unvisited_flat[uniq_key] = False
+        src, vtx = uniq_key // n, uniq_key % n
+    levels = levels_flat.reshape(k, n)
+    nlevels = levels.max(axis=1) + 1
+    return levels, nlevels
+
+
+def find_pseudo_peripheral_multi(
+    A: CSRMatrix,
+    starts: np.ndarray,
+    degrees: np.ndarray | None = None,
+) -> list:
+    """George-Liu pseudo-peripheral search from many starts, in lockstep.
+
+    Runs paper Algorithm 2/4 for every start simultaneously: each
+    iteration performs ONE batched multi-source BFS over all
+    still-improving starts instead of a Python BFS loop per start, then
+    moves every active root to the minimum-degree vertex of its last
+    level (ties to the smallest id, like the algebraic REDUCE).  Starts
+    whose eccentricity estimate stops growing drop out of the batch.
+
+    Returns a list of
+    :class:`~repro.core.pseudo_peripheral.PseudoPeripheralResult`, one
+    per start, each bit-identical to a serial
+    :func:`~repro.core.pseudo_peripheral.find_pseudo_peripheral` run.
+    """
+    from .pseudo_peripheral import (
+        PseudoPeripheralResult,
+        find_pseudo_peripheral_reference,
+    )
+
+    starts = np.atleast_1d(np.asarray(starts, dtype=np.int64))
+    if degrees is None:
+        degrees = A.degrees()
+    if starts.size == 1:
+        # a size-1 batch has no per-level overhead to amortize; the
+        # scalar loop wins by the lockstep bookkeeping constant
+        return [find_pseudo_peripheral_reference(A, int(starts[0]), degrees)]
+    k = starts.size
+    r = starts.copy()
+    ell = np.zeros(k, dtype=np.int64)
+    nlvl = np.full(k, -1, dtype=np.int64)
+    bfs_count = np.zeros(k, dtype=np.int64)
+    last_nlevels = np.ones(k, dtype=np.int64)
+    active = np.arange(k, dtype=np.int64)  # ell > nlvl holds initially
+    deg_f = degrees.astype(np.float64)
+    while active.size:
+        nlvl[active] = ell[active]
+        levels, nlevels = bfs_levels_multi(A, r[active])
+        bfs_count[active] += 1
+        last_nlevels[active] = nlevels
+        ell[active] = nlevels - 1
+        # min-degree vertex of each source's last level; np.argmin over a
+        # degree row masked to the last level resolves ties to the
+        # smallest vertex id, matching the serial _min_degree_in
+        last_mask = levels == (nlevels - 1)[:, None]
+        score = np.where(last_mask, deg_f[None, :], np.inf)
+        r[active] = np.argmin(score, axis=1)
+        active = active[ell[active] > nlvl[active]]
+    return [
+        PseudoPeripheralResult(
+            vertex=int(r[s]), nlevels=int(last_nlevels[s]), bfs_count=int(bfs_count[s])
+        )
+        for s in range(k)
+    ]
+
+
+def masked_components(A: CSRMatrix, mask: np.ndarray) -> np.ndarray:
+    """Connected components of the subgraph induced by ``mask``.
+
+    Returns a dense ``int64`` array where every masked vertex carries the
+    *smallest vertex id of its cluster* and unmasked vertices carry -1.
+    Uses vectorized min-label propagation with pointer jumping
+    (Shiloach-Vishkin style), replacing the one-Python-BFS-per-cluster
+    restarts the GPS combined-level phase used to perform.
+    """
+    n = A.nrows
+    mask = np.asarray(mask, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    members = np.flatnonzero(mask).astype(np.int64)
+    if members.size == 0:
+        return labels
+    labels[members] = members
+    lens = A.indptr[members + 1] - A.indptr[members]
+    neigh = gather_rows(A, members)
+    src = np.repeat(members, lens)
+    keep = mask[neigh]
+    neigh, src = neigh[keep], src[keep]
+    while True:
+        before = labels[members].copy()
+        # hook: pull the smallest neighbor label across every masked edge
+        np.minimum.at(labels, src, labels[neigh])
+        # jump: compress label chains toward each cluster's minimum
+        labels[members] = labels[labels[members]]
+        if np.array_equal(labels[members], before):
+            return labels

@@ -76,9 +76,15 @@ def read_dense(x: SparseVector, y: np.ndarray) -> SparseVector:
     return x.with_values(y[x.indices])
 
 
-def spmspv(A: CSCMatrix, x: SparseVector, sr: Semiring) -> SparseVector:
-    """``SPMSPV(A, x, SR)``: sparse matrix-sparse vector product."""
-    return spmspv_csc(A, x, sr)
+def spmspv(
+    A: CSCMatrix, x: SparseVector, sr: Semiring, backend=None
+) -> SparseVector:
+    """``SPMSPV(A, x, SR)``: sparse matrix-sparse vector product.
+
+    ``backend`` selects the kernel backend (:mod:`repro.backends`);
+    ``None`` uses the process-wide default.
+    """
+    return spmspv_csc(A, x, sr, backend=backend)
 
 
 def reduce_min(x: SparseVector, y: np.ndarray) -> float:

@@ -19,9 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
-from .bfs import bfs_levels
 
-__all__ = ["PseudoPeripheralResult", "find_pseudo_peripheral"]
+__all__ = [
+    "PseudoPeripheralResult",
+    "find_pseudo_peripheral",
+    "find_pseudo_peripheral_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -47,19 +50,6 @@ class PseudoPeripheralResult:
         return self.nlevels - 1
 
 
-def _min_degree_in(
-    candidates: np.ndarray, degrees: np.ndarray
-) -> int:
-    """Smallest-degree candidate; ties broken by smallest vertex id.
-
-    The tie-break matters: the algebraic REDUCE primitive resolves ties
-    the same way, keeping serial/algebraic/distributed runs identical.
-    """
-    degs = degrees[candidates]
-    best = np.flatnonzero(degs == degs.min())
-    return int(candidates[best[0]])
-
-
 def find_pseudo_peripheral(
     A: CSRMatrix,
     start: int,
@@ -74,7 +64,36 @@ def find_pseudo_peripheral(
     the returned vertex is the shrink vertex of the final BFS.  This is
     the semantics the distributed implementation must reproduce
     bit-for-bit.
+
+    Delegates to the batched lockstep finder
+    (:func:`repro.core.bfs_multi.find_pseudo_peripheral_multi`) with a
+    single start; pass several starts there directly to amortize the
+    per-level sweep cost across candidates.
     """
+    from .bfs_multi import find_pseudo_peripheral_multi
+
+    return find_pseudo_peripheral_multi(A, np.array([start]), degrees)[0]
+
+
+def find_pseudo_peripheral_reference(
+    A: CSRMatrix,
+    start: int,
+    degrees: np.ndarray | None = None,
+) -> PseudoPeripheralResult:
+    """The one-root-at-a-time George-Liu loop over :func:`bfs_levels`.
+
+    Retained as an implementation *independent* of the batched lockstep
+    sweep: the equivalence tests pin
+    :func:`~repro.core.bfs_multi.find_pseudo_peripheral_multi` against
+    this, and the backend-ablation / BENCH snapshot use it as the
+    pre-batching timing baseline.  It is also the production k=1 fast
+    path — ``find_pseudo_peripheral_multi`` returns it directly for
+    single-start batches — so its semantics ARE the library's
+    single-start semantics; change it only in lockstep with the batched
+    sweep.
+    """
+    from .bfs import bfs_levels
+
     if degrees is None:
         degrees = A.degrees()
     r = int(start)
@@ -89,5 +108,6 @@ def find_pseudo_peripheral(
         last_nlevels = nlevels
         ell = nlevels - 1  # eccentricity estimate of this root
         last_level = np.flatnonzero(levels == nlevels - 1)
-        r = _min_degree_in(last_level, degrees)
+        degs = degrees[last_level]
+        r = int(last_level[np.flatnonzero(degs == degs.min())[0]])
     return PseudoPeripheralResult(vertex=r, nlevels=last_nlevels, bfs_count=bfs_count)

@@ -38,6 +38,7 @@ def pseudo_peripheral_algebraic(
     degrees: np.ndarray,
     start: int,
     sr: Semiring = SELECT2ND_MIN,
+    backend=None,
 ) -> tuple[int, int, int]:
     """Algorithm 4: find a pseudo-peripheral vertex via repeated BFS.
 
@@ -56,7 +57,7 @@ def pseudo_peripheral_algebraic(
         ell = 0
         while True:
             Lcur = read_dense(Lcur, L)
-            Lnext = spmspv(A, Lcur, sr)  # visit neighbors
+            Lnext = spmspv(A, Lcur, sr, backend=backend)  # visit neighbors
             Lnext = select(Lnext, L, lambda vals: vals == -1.0)  # unvisited
             if Lnext.nnz == 0:
                 break
@@ -78,6 +79,7 @@ def rcm_order_component(
     nv: int,
     sr: Semiring = SELECT2ND_MIN,
     sorted_levels: bool = True,
+    backend=None,
 ) -> int:
     """Algorithm 3: label ``root``'s component into dense ``R`` in place.
 
@@ -91,7 +93,7 @@ def rcm_order_component(
     nv += 1
     while Lcur.nnz != 0:
         Lcur = read_dense(Lcur, R)  # line 6: payloads <- labels
-        Lnext = spmspv(A, Lcur, sr)  # line 7: visit neighbors
+        Lnext = spmspv(A, Lcur, sr, backend=backend)  # line 7: visit neighbors
         Lnext = select(Lnext, R, lambda vals: vals == -1.0)  # line 8
         if sorted_levels:
             # line 9: lexicographic (parent label, degree, id) permutation
@@ -115,6 +117,7 @@ def rcm_algebraic(
     start: int | None = None,
     sr: Semiring = SELECT2ND_MIN,
     sorted_levels: bool = True,
+    backend=None,
 ) -> Ordering:
     """Full RCM via Algorithms 3 + 4 (serial algebraic backend).
 
@@ -143,11 +146,15 @@ def rcm_algebraic(
             cursor += 1
         seed = start if (first_component and start is not None) else cursor
         first_component = False
-        r, nlevels, bfs_count = pseudo_peripheral_algebraic(A, degrees, seed, sr)
+        r, nlevels, bfs_count = pseudo_peripheral_algebraic(
+            A, degrees, seed, sr, backend=backend
+        )
         roots.append(r)
         levels.append(nlevels)
         bfs_total += bfs_count
-        nv = rcm_order_component(A, degrees, r, R, nv, sr, sorted_levels)
+        nv = rcm_order_component(
+            A, degrees, r, R, nv, sr, sorted_levels, backend=backend
+        )
     labels = R.astype(np.int64)
     cm_perm = np.argsort(labels, kind="stable").astype(np.int64)
     return Ordering(

@@ -40,6 +40,7 @@ def dist_bfs(
     compute_parents: bool = False,
     sr: Semiring = SELECT2ND_MIN,
     region: str = "bfs",
+    backend=None,
 ) -> DistBFSResult:
     """Level-synchronous BFS from ``root`` on the distributed matrix.
 
@@ -59,7 +60,7 @@ def dist_bfs(
     depth = 0
     calls = 0
     while True:
-        nxt = dist_spmspv(A, frontier, sr, f"{region}:spmspv")
+        nxt = dist_spmspv(A, frontier, sr, f"{region}:spmspv", backend=backend)
         calls += 1
         nxt = d_select(nxt, L, lambda vals: vals == -1.0, f"{region}:other")
         if d_nnz(nxt, f"{region}:other") == 0:

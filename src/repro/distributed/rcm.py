@@ -77,6 +77,7 @@ def distributed_pseudo_peripheral(
     degrees: DistDenseVector,
     start: int,
     sr: Semiring = SELECT2ND_MIN,
+    backend=None,
 ) -> tuple[int, int, int, int]:
     """Algorithm 4 on the grid: ``(vertex, nlevels, bfs_count, spmspv_calls)``."""
     ctx = A.ctx
@@ -94,7 +95,7 @@ def distributed_pseudo_peripheral(
         ell = 0
         while True:
             Lcur = d_read_dense(Lcur, L, "peripheral:other")
-            Lnext = dist_spmspv(A, Lcur, sr, "peripheral:spmspv")
+            Lnext = dist_spmspv(A, Lcur, sr, "peripheral:spmspv", backend=backend)
             spmspv_calls += 1
             Lnext = d_select(
                 Lnext, L, lambda vals: vals == -1.0, "peripheral:other"
@@ -118,6 +119,7 @@ def _order_component(
     nv: int,
     sr: Semiring,
     sort_impl: str = "bucket",
+    backend=None,
 ) -> tuple[int, int]:
     """Algorithm 3 on the grid; returns ``(new nv, spmspv_calls)``."""
     ctx = A.ctx
@@ -130,7 +132,7 @@ def _order_component(
     while nnz_cur > 0:
         label_base = nv - nnz_cur
         Lcur = d_read_dense(Lcur, R, "ordering:other")  # line 6
-        Lnext = dist_spmspv(A, Lcur, sr, "ordering:spmspv")  # line 7
+        Lnext = dist_spmspv(A, Lcur, sr, "ordering:spmspv", backend=backend)  # line 7
         spmspv_calls += 1
         Lnext = d_select(
             Lnext, R, lambda vals: vals == -1.0, "ordering:other"
@@ -188,6 +190,7 @@ def rcm_distributed(
     sr: Semiring = SELECT2ND_MIN,
     ctx: DistContext | None = None,
     sort_impl: str = "bucket",
+    backend=None,
 ) -> DistRCMResult:
     """Compute the RCM ordering of ``A`` on a simulated ``nprocs`` grid.
 
@@ -213,6 +216,10 @@ def rcm_distributed(
         ``"bucket"`` for the paper's specialized bucket sort,
         ``"sample"`` for the general samplesort (HykSort stand-in) used
         by the sort ablation.  Results are identical; costs differ.
+    backend:
+        Kernel backend (:mod:`repro.backends`) for the local SpMSpV
+        multiplies; ``None`` uses the process-wide default.  The
+        ordering is identical for every backend.
     """
     if A.nrows != A.ncols:
         raise ValueError("RCM requires a square (symmetric) matrix")
@@ -243,13 +250,15 @@ def rcm_distributed(
         )
         first = False
         r, nlevels, bfs_count, calls = distributed_pseudo_peripheral(
-            dA, degrees, seed, sr
+            dA, degrees, seed, sr, backend=backend
         )
         roots.append(r)
         levels.append(nlevels)
         bfs_total += bfs_count
         spmspv_calls += calls
-        nv, calls = _order_component(dA, degrees, r, R, nv, sr, sort_impl)
+        nv, calls = _order_component(
+            dA, degrees, r, R, nv, sr, sort_impl, backend=backend
+        )
         spmspv_calls += calls
 
     labels = R.to_global().astype(np.int64)

@@ -58,8 +58,14 @@ def dist_spmspv(
     x: DistSparseVector,
     sr: Semiring,
     region: str,
+    backend=None,
 ) -> DistSparseVector:
-    """``y = A x`` over semiring ``sr``; charges compute + comm to ``region``."""
+    """``y = A x`` over semiring ``sr``; charges compute + comm to ``region``.
+
+    ``backend`` selects the local-multiply kernel backend
+    (:mod:`repro.backends`) used for every per-block Phase B multiply;
+    ``None`` uses the process-wide default.
+    """
     ctx = A.ctx
     g = ctx.grid
     n = A.n
@@ -90,7 +96,7 @@ def dist_spmspv(
             blk = A.block(i, j)
             xj = col_inputs[j]
             ops_per_rank.append(spmspv_work(blk, xj))
-            partials[(i, j)] = spmspv_csc(blk, xj, sr)
+            partials[(i, j)] = spmspv_csc(blk, xj, sr, backend=backend)
     ctx.charge_compute(region, ops_per_rank)
 
     # ---------------- Phase C: merge within processor rows -------------

@@ -15,6 +15,12 @@ kernels are provided:
 
 Both kernels support an optional dense boolean ``mask`` that suppresses
 output rows (the fused form of the SELECT-by-unvisited step).
+
+The public functions here are *dispatchers*: they resolve a kernel
+backend (:mod:`repro.backends`) and delegate.  The pure-numpy reference
+implementations live alongside as ``_numpy``-suffixed functions; they are
+the default backend and the oracle every other backend is tested
+against.
 """
 
 from __future__ import annotations
@@ -58,27 +64,16 @@ def _group_reduce(
     return rows_sorted[starts], np.asarray(reduced, dtype=np.float64)
 
 
-def spmspv_csc(
+# ----------------------------------------------------------------------
+# Pure-numpy reference kernels (the "numpy" backend)
+# ----------------------------------------------------------------------
+def spmspv_csc_numpy(
     A: CSCMatrix,
     x: SparseVector,
     sr: Semiring,
     mask: np.ndarray | None = None,
 ) -> SparseVector:
-    """``y = A x`` over semiring ``sr`` using column gathers (CSC kernel).
-
-    Parameters
-    ----------
-    A:
-        ``nrows x ncols`` sparse matrix in CSC.
-    x:
-        Sparse input of length ``ncols``; payloads feed the semiring
-        multiply.
-    sr:
-        The semiring; for BFS use ``SELECT2ND_MIN``.
-    mask:
-        Optional dense boolean array of length ``nrows``; rows where the
-        mask is False are dropped from the output (fused SELECT).
-    """
+    """Reference CSC kernel: vectorized ragged column gather + reduce."""
     if x.n != A.ncols:
         raise ValueError("dimension mismatch between matrix and vector")
     if x.nnz == 0:
@@ -102,20 +97,13 @@ def spmspv_csc(
     return SparseVector(A.nrows, uniq_rows, reduced)
 
 
-def spmspv_csr(
+def spmspv_csr_numpy(
     A: CSRMatrix,
     x: SparseVector,
     sr: Semiring,
     mask: np.ndarray | None = None,
 ) -> SparseVector:
-    """``y = A x`` over semiring ``sr`` using a row-major (CSR) kernel.
-
-    For every candidate output row the kernel intersects the row pattern
-    with the nonzeros of ``x`` — O(nnz(A)) regardless of ``nnz(x)`` in the
-    unmasked dense-scan form used here.  Exists to quantify the paper's
-    CSC-storage design choice; results are identical to
-    :func:`spmspv_csc`.
-    """
+    """Reference CSR kernel: dense-scan row/vector pattern intersection."""
     if x.n != A.ncols:
         raise ValueError("dimension mismatch between matrix and vector")
     if x.nnz == 0:
@@ -129,10 +117,7 @@ def spmspv_csr(
     hits = present[A.indices]
     if not hits.any():
         return SparseVector.empty(A.nrows)
-    row_of_entry = np.repeat(
-        np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr)
-    )
-    rows = row_of_entry[hits]
+    rows = A.row_of_entry()[hits]
     avals = A.data[hits]
     xvals = x_dense[A.indices[hits]]
     products = np.asarray(sr.multiply(avals, xvals), dtype=np.float64)
@@ -147,11 +132,8 @@ def spmspv_csr(
     return SparseVector(A.nrows, uniq_rows, reduced)
 
 
-def spmv_dense(A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
-    """Dense-vector semiring product ``y = A x`` (used in tests/solvers).
-
-    Rows with no nonzeros map to the semiring's additive identity.
-    """
+def spmv_dense_numpy(A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
+    """Reference dense-vector semiring product."""
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (A.ncols,):
         raise ValueError("dimension mismatch")
@@ -159,7 +141,71 @@ def spmv_dense(A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
     if A.nnz == 0:
         return out
     products = np.asarray(sr.multiply(A.data, x[A.indices]), dtype=np.float64)
-    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.indptr))
-    uniq, reduced = _group_reduce(rows, products, sr)
+    uniq, reduced = _group_reduce(A.row_of_entry(), products, sr)
     out[uniq] = reduced
     return out
+
+
+# ----------------------------------------------------------------------
+# Backend dispatchers (the public kernel API)
+# ----------------------------------------------------------------------
+def spmspv_csc(
+    A: CSCMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+    backend=None,
+) -> SparseVector:
+    """``y = A x`` over semiring ``sr`` using column gathers (CSC kernel).
+
+    Parameters
+    ----------
+    A:
+        ``nrows x ncols`` sparse matrix in CSC.
+    x:
+        Sparse input of length ``ncols``; payloads feed the semiring
+        multiply.
+    sr:
+        The semiring; for BFS use ``SELECT2ND_MIN``.
+    mask:
+        Optional dense boolean array of length ``nrows``; rows where the
+        mask is False are dropped from the output (fused SELECT).
+    backend:
+        Kernel backend name or instance (:mod:`repro.backends`);
+        ``None`` uses the process-wide default.
+    """
+    from ..backends import get_backend
+
+    return get_backend(backend).spmspv_csc(A, x, sr, mask)
+
+
+def spmspv_csr(
+    A: CSRMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+    backend=None,
+) -> SparseVector:
+    """``y = A x`` over semiring ``sr`` using a row-major (CSR) kernel.
+
+    For every candidate output row the kernel intersects the row pattern
+    with the nonzeros of ``x`` — O(nnz(A)) regardless of ``nnz(x)`` in the
+    unmasked dense-scan form used here.  Exists to quantify the paper's
+    CSC-storage design choice; results are identical to
+    :func:`spmspv_csc`.
+    """
+    from ..backends import get_backend
+
+    return get_backend(backend).spmspv_csr(A, x, sr, mask)
+
+
+def spmv_dense(
+    A: CSRMatrix, x: np.ndarray, sr: Semiring, backend=None
+) -> np.ndarray:
+    """Dense-vector semiring product ``y = A x`` (used in tests/solvers).
+
+    Rows with no nonzeros map to the semiring's additive identity.
+    """
+    from ..backends import get_backend
+
+    return get_backend(backend).spmv_dense(A, x, sr)

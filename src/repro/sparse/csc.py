@@ -24,7 +24,7 @@ class CSCMatrix:
     output order — and therefore RCM tie-breaking — is deterministic.
     """
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "data")
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "data", "_cache")
 
     def __init__(
         self,
@@ -36,6 +36,9 @@ class CSCMatrix:
     ) -> None:
         self.nrows = int(nrows)
         self.ncols = int(ncols)
+        # derived-array cache (e.g. backend-specific matrix handles);
+        # the structure arrays are treated as immutable once constructed
+        self._cache: dict = {}
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         if data is None:
@@ -102,7 +105,12 @@ class CSCMatrix:
         return self.data[self.indptr[j] : self.indptr[j + 1]]
 
     def col_degrees(self) -> np.ndarray:
-        return np.diff(self.indptr)
+        deg = self._cache.get("col_degrees")
+        if deg is None:
+            deg = np.diff(self.indptr)
+            deg.setflags(write=False)
+            self._cache["col_degrees"] = deg
+        return deg
 
     # ------------------------------------------------------------------
     # Transformations

@@ -23,7 +23,7 @@ class CSRMatrix:
     orderings.
     """
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "data")
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "data", "_cache")
 
     def __init__(
         self,
@@ -35,6 +35,9 @@ class CSRMatrix:
     ) -> None:
         self.nrows = int(nrows)
         self.ncols = int(ncols)
+        # derived-array cache; the structure arrays are treated as
+        # immutable once constructed, so cached views never go stale
+        self._cache: dict = {}
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         if data is None:
@@ -96,8 +99,29 @@ class CSRMatrix:
         return self.data[self.indptr[i] : self.indptr[i + 1]]
 
     def degrees(self) -> np.ndarray:
-        """Row degree (stored entries per row) as ``int64``."""
-        return np.diff(self.indptr)
+        """Row degree (stored entries per row) as ``int64`` (cached)."""
+        deg = self._cache.get("degrees")
+        if deg is None:
+            deg = np.diff(self.indptr)
+            deg.setflags(write=False)
+            self._cache["degrees"] = deg
+        return deg
+
+    def row_of_entry(self) -> np.ndarray:
+        """Row index of every stored entry, length ``nnz`` (cached).
+
+        The CSR kernels (``spmspv_csr``, ``matvec``, ``spmv_dense``) all
+        need this expansion; computing it once per matrix instead of per
+        call removes an O(nnz) allocation from every kernel invocation.
+        """
+        roe = self._cache.get("row_of_entry")
+        if roe is None:
+            roe = np.repeat(
+                np.arange(self.nrows, dtype=np.int64), self.degrees()
+            )
+            roe.setflags(write=False)
+            self._cache["row_of_entry"] = roe
+        return roe
 
     def diagonal(self) -> np.ndarray:
         """Dense diagonal vector."""
@@ -113,7 +137,7 @@ class CSRMatrix:
     # Transformations
     # ------------------------------------------------------------------
     def to_coo(self) -> COOMatrix:
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
+        rows = self.row_of_entry().copy()
         return COOMatrix(self.nrows, self.ncols, rows, self.indices.copy(), self.data.copy())
 
     def transpose(self) -> "CSRMatrix":
@@ -157,8 +181,7 @@ class CSRMatrix:
         out = np.zeros(self.nrows, dtype=np.float64)
         # segment-sum per row via reduceat; guard empty matrix
         if self.nnz:
-            rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
-            np.add.at(out, rows, contrib)
+            np.add.at(out, self.row_of_entry(), contrib)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

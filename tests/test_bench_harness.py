@@ -34,6 +34,7 @@ def test_registry_complete():
         "gather",
         "sort-ablation",
         "csc-ablation",
+        "backend-ablation",
         "balance-ablation",
         "semiring-ablation",
         "skyline",
@@ -91,6 +92,40 @@ def test_sort_ablation_identical_orderings():
 def test_csc_ablation_runs():
     out = run_csc_ablation(scale=0.45, quick=True, names=["serena"])
     assert "CSR/CSC" in out
+
+
+def test_backend_ablation_runs():
+    from repro.bench.harness import run_backend_ablation
+
+    out = run_backend_ablation(scale=0.45, quick=True, names=["serena"])
+    assert "batched" in out and "True" in out
+
+
+def test_cli_json_and_backend_flags(capsys):
+    import json
+
+    from repro.bench.cli import main
+
+    assert (
+        main(
+            [
+                "fig3",
+                "--quick",
+                "--scale",
+                "0.45",
+                "--matrices",
+                "serena",
+                "--backend",
+                "numpy",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["backend"] == "numpy"
+    assert doc["experiments"][0]["experiment"] == "fig3"
+    assert "Fig. 3" in doc["experiments"][0]["report"]
 
 
 def test_balance_ablation_runs():

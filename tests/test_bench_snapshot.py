@@ -1,0 +1,25 @@
+"""Bench-marked wrapper around the BENCH_PR1 snapshot generator.
+
+Excluded from the tier-1 run by the ``bench`` marker (pytest.ini);
+run explicitly with ``pytest -m bench``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+
+@pytest.mark.bench
+def test_snapshot_measures_batched_finder_win():
+    from benchmarks.bench_pr1_snapshot import snapshot
+
+    doc = snapshot(scale=0.8, repeats=2)
+    assert set(doc["matrices"])
+    for entry in doc["matrices"].values():
+        assert entry["pseudo_peripheral"]["batched_seconds"] > 0
+    # the lockstep finder must beat per-root Python BFS loops on average
+    # (per-matrix margins vary with graph diameter; the mean is stable)
+    assert doc["summary"]["batched_finder_mean_speedup"] > 1.0

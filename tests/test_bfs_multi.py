@@ -1,0 +1,170 @@
+"""Batched multi-source BFS pinned against the serial oracles.
+
+Every row of ``bfs_levels_multi`` must equal ``bfs_levels`` from that
+root; ``find_pseudo_peripheral_multi`` must reproduce the serial
+George-Liu finder field-for-field; ``masked_components`` must agree with
+a reference per-cluster BFS.  Covered inputs: stencils, random graphs,
+disconnected components, isolated vertices, duplicate roots, the whole
+paper suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bfs_levels,
+    bfs_levels_multi,
+    find_pseudo_peripheral,
+    find_pseudo_peripheral_multi,
+    masked_components,
+)
+from repro.core.pseudo_peripheral import find_pseudo_peripheral_reference
+from repro.core.bfs import gather_rows
+from repro.matrices import PAPER_SUITE, stencil_2d, stencil_3d
+from tests.conftest import csr_from_edges
+
+
+def _random_graph(n=60, extra=80, seed=3):
+    rng = np.random.default_rng(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    for _ in range(extra):
+        u, v = rng.integers(0, n, 2)
+        if u != v:
+            edges.append((int(u), int(v)))
+    return csr_from_edges(n, edges)
+
+
+GRAPHS = {
+    "stencil2d": stencil_2d(8, 11),
+    "stencil3d": stencil_3d(4, 5, 3),
+    "random": _random_graph(),
+    "two_components": csr_from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5), (3, 5)]),
+    "with_isolated": csr_from_edges(4, [(0, 1), (1, 3)]),
+    "path": csr_from_edges(7, [(i, i + 1) for i in range(6)]),
+}
+
+
+@pytest.mark.parametrize("graph", list(GRAPHS))
+def test_levels_rows_match_serial_oracle(graph):
+    A = GRAPHS[graph]
+    roots = np.arange(A.nrows, dtype=np.int64)
+    levels, nlevels = bfs_levels_multi(A, roots)
+    assert levels.shape == (A.nrows, A.nrows)
+    for r in roots:
+        l1, n1 = bfs_levels(A, int(r))
+        assert np.array_equal(levels[r], l1), (graph, r)
+        assert nlevels[r] == n1, (graph, r)
+
+
+def test_duplicate_and_unordered_roots():
+    A = GRAPHS["random"]
+    roots = np.array([7, 0, 7, 59, 0], dtype=np.int64)
+    levels, nlevels = bfs_levels_multi(A, roots)
+    for t, r in enumerate(roots):
+        l1, n1 = bfs_levels(A, int(r))
+        assert np.array_equal(levels[t], l1)
+        assert nlevels[t] == n1
+
+
+def test_empty_roots_and_range_check():
+    A = GRAPHS["path"]
+    levels, nlevels = bfs_levels_multi(A, np.empty(0, dtype=np.int64))
+    assert levels.shape == (0, A.nrows) and nlevels.size == 0
+    with pytest.raises(ValueError):
+        bfs_levels_multi(A, np.array([A.nrows]))
+
+
+def test_isolated_vertex_row():
+    A = GRAPHS["with_isolated"]
+    levels, nlevels = bfs_levels_multi(A, np.array([2]))
+    assert nlevels[0] == 1
+    assert levels[0, 2] == 0 and (levels[0, [0, 1, 3]] == -1).all()
+
+
+@pytest.mark.parametrize("graph", list(GRAPHS))
+def test_lockstep_finder_matches_serial_reference(graph):
+    """Pin the batched finder against the INDEPENDENT one-root loop
+    (find_pseudo_peripheral_reference), not against its own k=1 path."""
+    A = GRAPHS[graph]
+    starts = np.arange(A.nrows, dtype=np.int64)
+    batched = find_pseudo_peripheral_multi(A, starts)
+    for s in starts:
+        serial = find_pseudo_peripheral_reference(A, int(s))
+        b = batched[s]
+        assert (b.vertex, b.nlevels, b.bfs_count) == (
+            serial.vertex,
+            serial.nlevels,
+            serial.bfs_count,
+        ), (graph, s)
+
+
+def test_single_start_api_and_duplicate_batch_match_reference(two_components):
+    """k=1 dispatches to the scalar loop; a duplicate pair [s, s] forces
+    the lockstep path — all must agree with the reference."""
+    for s in range(two_components.nrows):
+        ref = find_pseudo_peripheral_reference(two_components, s)
+        got = find_pseudo_peripheral(two_components, s)
+        dup = find_pseudo_peripheral_multi(two_components, np.array([s, s]))
+        for r in (got, *dup):
+            assert (r.vertex, r.nlevels, r.bfs_count) == (
+                ref.vertex,
+                ref.nlevels,
+                ref.bfs_count,
+            )
+
+
+def test_lockstep_finder_on_paper_suite():
+    rng = np.random.default_rng(11)
+    for name in PAPER_SUITE:
+        A = PAPER_SUITE[name].build(0.35)
+        starts = rng.choice(A.nrows, min(4, A.nrows), replace=False).astype(np.int64)
+        batched = find_pseudo_peripheral_multi(A, starts)
+        for s, b in zip(starts, batched):
+            serial = find_pseudo_peripheral_reference(A, int(s))
+            assert (b.vertex, b.nlevels, b.bfs_count) == (
+                serial.vertex,
+                serial.nlevels,
+                serial.bfs_count,
+            ), name
+
+
+def _reference_clusters(A, mask):
+    """Per-cluster BFS reference (the pre-batching GPS implementation)."""
+    labels = np.full(A.nrows, -1, dtype=np.int64)
+    seen = np.zeros(A.nrows, dtype=bool)
+    for v in np.flatnonzero(mask):
+        if seen[v]:
+            continue
+        frontier = np.array([v], dtype=np.int64)
+        seen[v] = True
+        acc = [frontier]
+        while frontier.size:
+            neigh = np.unique(gather_rows(A, frontier))
+            neigh = neigh[mask[neigh] & ~seen[neigh]]
+            seen[neigh] = True
+            if neigh.size:
+                acc.append(neigh)
+            frontier = neigh
+        members = np.concatenate(acc)
+        labels[members] = members.min()
+    return labels
+
+
+@pytest.mark.parametrize("graph", list(GRAPHS))
+def test_masked_components_matches_bfs_reference(graph):
+    A = GRAPHS[graph]
+    rng = np.random.default_rng(2)
+    for density in (0.0, 0.3, 0.7, 1.0):
+        mask = rng.random(A.nrows) < density
+        got = masked_components(A, mask)
+        ref = _reference_clusters(A, mask)
+        assert np.array_equal(got, ref), (graph, density)
+
+
+def test_masked_components_long_path_converges():
+    """Pointer jumping must converge on a worst-case path cluster."""
+    n = 200
+    A = csr_from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    mask = np.ones(n, dtype=bool)
+    labels = masked_components(A, mask)
+    assert (labels == 0).all()
