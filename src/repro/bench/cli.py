@@ -14,11 +14,17 @@ Run everything the paper reports::
 Swap the kernel backend and emit machine-readable output::
 
     repro-bench backend-ablation --quick --backend scipy --json
+
+Run the distributed layer on real worker processes and calibrate the
+cost model against measured wall-clock::
+
+    repro-bench calibration --engine processes --procs 4
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -69,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend for every SpMSpV/BFS hot kernel",
     )
     parser.add_argument(
+        "--engine",
+        choices=["simulated", "processes"],
+        default=None,
+        help=(
+            "execution engine for engine-aware experiments (currently "
+            "'calibration'): 'simulated' charges modeled time only, "
+            "'processes' runs supersteps and collectives on a real "
+            "worker-process pool and measures wall-clock"
+        ),
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process count for --engine processes (default 4)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -87,10 +111,22 @@ def main(argv: list[str] | None = None) -> int:
     records = []
     with use_backend(args.backend):
         for name in chosen:
+            fn = EXPERIMENTS[name]
+            kwargs = dict(scale=args.scale, quick=args.quick, names=args.matrices)
+            engine_aware = "engine" in inspect.signature(fn).parameters
+            if engine_aware:
+                if args.engine is not None:
+                    kwargs["engine"] = args.engine
+                if args.procs is not None:
+                    kwargs["procs"] = args.procs
+            elif args.engine is not None or args.procs is not None:
+                print(
+                    f"[{name}] note: --engine/--procs ignored "
+                    "(experiment is simulated-machine only)",
+                    file=sys.stderr,
+                )
             t0 = time.perf_counter()
-            report = EXPERIMENTS[name](
-                scale=args.scale, quick=args.quick, names=args.matrices
-            )
+            report = fn(**kwargs)
             elapsed = time.perf_counter() - t0
             if args.json:
                 records.append(

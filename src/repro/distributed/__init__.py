@@ -1,4 +1,11 @@
-"""CombBLAS-style distributed layer on the simulated machine.
+"""CombBLAS-style distributed layer, runnable on either engine.
+
+Engines: simulated + processes — every algorithm in this package is
+written against the engine-neutral :class:`DistContext` contract
+(collectives + supersteps), so ``DistContext(engine="processes")`` runs
+the identical SPMD code on real worker processes.  Charges modeled
+compute/communication cost under both engines; the processes engine
+additionally fills ``ctx.measured`` with wall-clock.
 
 Implements the 2D-distributed sparse matrix/vector containers, the
 Table I primitives, the distributed SpMSpV and bucket-sort SORTPERM,

@@ -1,5 +1,10 @@
 """Standalone distributed BFS on the 2D grid.
 
+Engines: simulated + processes — all heavy work flows through
+:func:`~repro.distributed.spmspv.dist_spmspv` and the Table I
+primitives, which are engine-neutral.  Charges modeled cost to the
+``<region>:spmspv`` / ``<region>:other`` regions.
+
 The level-synchronous BFS inside Algorithms 3/4 is useful on its own
 (it is the paper's basic building block, inherited from Buluç & Madduri's
 distributed BFS work [14]); this module exposes it as a first-class API:

@@ -1,5 +1,11 @@
 """2D block-distributed sparse matrix (CombBLAS layout; paper Section IV.A).
 
+Engines: simulated + processes — the driver always holds the blocks;
+under the processes engine each rank's block is additionally registered
+on the worker that runs the rank (:meth:`DistSparseMatrix.ensure_resident`),
+so SpMSpV supersteps ship only vector pieces.  Charges no modeled cost
+itself (load-time communication is charged by callers).
+
 Processor ``P(i, j)`` of the ``pr x pc`` grid stores submatrix ``A_ij`` of
 dimensions ``(m/pr) x (n/pc)`` in CSC — the format the paper selected for
 its SpMSpV with very sparse input vectors.  Block boundaries use the same
@@ -23,7 +29,7 @@ __all__ = ["DistSparseMatrix"]
 class DistSparseMatrix:
     """A square symmetric sparse matrix distributed on a 2D grid."""
 
-    __slots__ = ("ctx", "n", "blocks", "row_offsets", "col_offsets")
+    __slots__ = ("ctx", "n", "blocks", "row_offsets", "col_offsets", "_key")
 
     def __init__(
         self,
@@ -38,6 +44,7 @@ class DistSparseMatrix:
         self.blocks = blocks
         self.row_offsets = row_offsets
         self.col_offsets = col_offsets
+        self._key = ctx.new_object_key("dmat")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -86,6 +93,26 @@ class DistSparseMatrix:
     # ------------------------------------------------------------------
     def block(self, i: int, j: int) -> CSCMatrix:
         return self.blocks[(i, j)]
+
+    def ensure_resident(self) -> str:
+        """Register each rank's block where that rank executes supersteps.
+
+        Idempotent; returns the object-store key SpMSpV tasks use.  On
+        the simulated engine this is a driver-side aliasing of the
+        ``blocks`` dict; on the processes engine each worker receives
+        exactly the blocks of the ranks it owns (sent once per matrix).
+        """
+        g = self.ctx.grid
+        self.ctx.ensure_rank_objects(
+            self._key,
+            lambda ranks: {r: self.blocks[g.coords(r)] for r in ranks},
+        )
+        return self._key
+
+    def release_resident(self) -> None:
+        """Free this matrix's worker-resident blocks (see
+        :meth:`ensure_resident`); call when done with a shared pool."""
+        self.ctx.release_rank_objects(self._key)
 
     @property
     def nnz(self) -> int:

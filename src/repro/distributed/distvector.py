@@ -1,5 +1,9 @@
 """Distributed dense and sparse vectors (CombBLAS layout).
 
+Engines: simulated + processes — segments are driver-resident
+containers under both engines (supersteps ship the pieces they need);
+charges no modeled cost itself.
+
 A length-``n`` vector is split into ``p`` contiguous segments; segment
 ``k`` is owned by rank ``k``.  Because ranks are row-major on the grid,
 the union of the segments owned by processor row ``i`` is exactly matrix

@@ -1,5 +1,10 @@
 """Gather-to-root of a distributed matrix (the baseline the paper beats).
 
+Engines: simulated + processes — built on the engine's
+``gather_to_root`` collective (worker-copied shared memory under the
+processes engine).  Charges modeled communication cost, root-injection
+bounded.
+
 Section V.C: computing RCM with a shared-memory code (SpMP) on an
 already-distributed matrix first requires gathering the structure onto a
 single node — "it takes over 9 seconds to gather the nlpkkt240 matrix

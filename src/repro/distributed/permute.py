@@ -1,5 +1,9 @@
 """Distributed symmetric permutation: apply an ordering in place.
 
+Engines: simulated + processes — the triple exchange goes through the
+engine's ``alltoall``.  Charges modeled communication plus local
+rebucketing compute.
+
 After RCM, applications permute the distributed matrix to ``P A P^T``
 without gathering it (the paper's Section V.C counts "redistributing the
 permuted matrix" against the gather-based baseline; the distributed

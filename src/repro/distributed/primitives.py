@@ -1,5 +1,11 @@
 """Distributed implementations of the Table I primitives.
 
+Engines: simulated + processes — the local element work is tiny
+(O(frontier) per rank), so it executes driver-side under both engines;
+reductions go through the engine's allreduce and therefore synchronize
+the worker pool under the processes engine.  Charges modeled compute,
+and modeled communication for the reducing primitives.
+
 Each function here is the 2D-distributed counterpart of a serial
 primitive in :mod:`repro.core.primitives` and must return element-for-
 element identical results — the property the cross-backend test suite

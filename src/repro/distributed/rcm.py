@@ -1,5 +1,11 @@
 """Distributed-memory RCM: Algorithms 3 + 4 on the 2D grid.
 
+Engines: simulated + processes — pass ``engine="processes"`` (or a
+prebuilt processes context) to run every superstep on real workers; the
+ordering is bit-identical either way, which ``repro-bench calibration``
+enforces on the whole paper suite.  Charges modeled cost into the five
+Fig. 4 regions.
+
 This is the paper's headline algorithm.  It mirrors the serial algebraic
 driver of :mod:`repro.core.rcm_algebraic` superstep-for-superstep, but
 every primitive is the distributed one, and every superstep charges
@@ -191,15 +197,17 @@ def rcm_distributed(
     ctx: DistContext | None = None,
     sort_impl: str = "bucket",
     backend=None,
+    engine: str = "simulated",
+    procs: int | None = None,
 ) -> DistRCMResult:
-    """Compute the RCM ordering of ``A`` on a simulated ``nprocs`` grid.
+    """Compute the RCM ordering of ``A`` on an ``nprocs`` grid.
 
     Parameters
     ----------
     A:
         Square structurally-symmetric sparse matrix.
     nprocs:
-        Number of simulated MPI processes (must form a square grid).
+        Number of SPMD ranks (must form a square grid).
     machine:
         Cost-model constants; defaults to the Edison-like preset.
     random_permute:
@@ -220,6 +228,17 @@ def rcm_distributed(
         Kernel backend (:mod:`repro.backends`) for the local SpMSpV
         multiplies; ``None`` uses the process-wide default.  The
         ordering is identical for every backend.
+    engine:
+        ``"simulated"`` (default) runs the SPMD loop in-process on the
+        modeled machine; ``"processes"`` executes supersteps and
+        collectives on a real worker pool (see
+        :mod:`repro.runtime`) and additionally fills
+        ``result.ctx.measured`` with wall-clock for calibration.  The
+        ordering is bit-identical either way.
+    procs:
+        Worker-process count for ``engine="processes"``; defaults to one
+        worker per rank.  Ranks map onto workers in contiguous chunks,
+        so ``procs < nprocs`` oversubscribes workers rather than failing.
     """
     if A.nrows != A.ncols:
         raise ValueError("RCM requires a square (symmetric) matrix")
@@ -230,36 +249,65 @@ def rcm_distributed(
     if random_permute is not None:
         A_run, relabel = random_symmetric_permutation(A, random_permute)
 
+    owns_ctx = ctx is None
     if ctx is None:
-        ctx = DistContext(ProcessGrid.square(nprocs), machine or edison())
-    dA = DistSparseMatrix.from_csr(ctx, A_run)
-    degrees = dA.degrees()
+        ctx = DistContext(
+            ProcessGrid.square(nprocs),
+            machine or edison(),
+            engine=engine,
+            procs=procs,
+        )
+    else:
+        # a provided context already fixes the engine; silently running a
+        # different one than requested would fake calibration results
+        if procs is not None:
+            raise ValueError("procs= conflicts with ctx=; size the context's pool")
+        if engine != "simulated" and engine != ctx.engine_name:
+            raise ValueError(
+                f"engine={engine!r} conflicts with the provided "
+                f"{ctx.engine_name!r} context"
+            )
+    dA = None
+    try:
+        dA = DistSparseMatrix.from_csr(ctx, A_run)
+        degrees = dA.degrees()
 
-    R = DistDenseVector.full(ctx, n, -1.0)
-    nv = 0
-    roots: list[int] = []
-    levels: list[int] = []
-    bfs_total = 0
-    spmspv_calls = 0
-    first = True
-    while nv < n:
-        seed = (
-            start
-            if (first and start is not None)
-            else d_first_index_where(R, lambda seg: seg == -1.0, "peripheral:other")
-        )
-        first = False
-        r, nlevels, bfs_count, calls = distributed_pseudo_peripheral(
-            dA, degrees, seed, sr, backend=backend
-        )
-        roots.append(r)
-        levels.append(nlevels)
-        bfs_total += bfs_count
-        spmspv_calls += calls
-        nv, calls = _order_component(
-            dA, degrees, r, R, nv, sr, sort_impl, backend=backend
-        )
-        spmspv_calls += calls
+        R = DistDenseVector.full(ctx, n, -1.0)
+        nv = 0
+        roots: list[int] = []
+        levels: list[int] = []
+        bfs_total = 0
+        spmspv_calls = 0
+        first = True
+        while nv < n:
+            seed = (
+                start
+                if (first and start is not None)
+                else d_first_index_where(
+                    R, lambda seg: seg == -1.0, "peripheral:other"
+                )
+            )
+            first = False
+            r, nlevels, bfs_count, calls = distributed_pseudo_peripheral(
+                dA, degrees, seed, sr, backend=backend
+            )
+            roots.append(r)
+            levels.append(nlevels)
+            bfs_total += bfs_count
+            spmspv_calls += calls
+            nv, calls = _order_component(
+                dA, degrees, r, R, nv, sr, sort_impl, backend=backend
+            )
+            spmspv_calls += calls
+    finally:
+        # a context we created, we also tear down (worker pools must not
+        # outlive the call); caller-provided contexts stay open, but the
+        # matrix we distributed is internal — free its worker-resident
+        # blocks so shared pools don't accumulate one payload per call
+        if owns_ctx:
+            ctx.close()
+        elif dA is not None:
+            dA.release_resident()
 
     labels = R.to_global().astype(np.int64)
     cm_perm = np.argsort(labels, kind="stable").astype(np.int64)

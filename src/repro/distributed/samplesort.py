@@ -1,5 +1,10 @@
 """General distributed samplesort — the HykSort stand-in for the ablation.
 
+Engines: simulated + processes — sampling, routing and returning go
+through the collective engine; the local sorts are ``lexsort3``
+supersteps on workers under the processes engine.  Charges modeled
+compute, sort and communication cost to the caller's region.
+
 The paper justifies its specialized bucket sort by noting it beat
 "state-of-the-art general sorting libraries, such as HykSort".  A general
 sort cannot exploit the fact that parent labels already partition into
@@ -99,18 +104,16 @@ def d_sortperm_samplesort(
     ctx.charge_compute(region, route_ops)
     recv = ctx.engine.alltoall(send, region)
 
-    # ---- local sorts + global ranks --------------------------------------
-    sorted_blocks: list[np.ndarray] = []
+    # ---- local sorts (one superstep) + global ranks ----------------------
+    blocks: list[np.ndarray] = []
     sort_keys = []
     for t in range(p):
         chunks = [c for c in recv[t] if c.size]
         block = np.concatenate(chunks) if chunks else np.empty((0, 3))
         sort_keys.append(block.shape[0])
-        if block.shape[0]:
-            order = np.lexsort((block[:, 2], block[:, 1], block[:, 0]))
-            block = block[order]
-        sorted_blocks.append(block)
+        blocks.append(block)
     ctx.charge_sort(region, sort_keys)
+    sorted_blocks = ctx.run_superstep("lexsort3", blocks, region)
     scan = ctx.engine.exscan_counts([b.shape[0] for b in sorted_blocks], region)
 
     # ---- send (id, rank) back to piece owners -----------------------------

@@ -1,5 +1,10 @@
 """Distributed SORTPERM: the paper's specialized bucket sort (Section IV.B).
 
+Engines: simulated + processes — both Alltoalls go through the
+collective engine and the step-2 local sorts are ``lexsort3``
+supersteps executed on workers under the processes engine.  Charges
+modeled compute, sort and communication cost to the caller's region.
+
 Vertices of the next frontier must be ranked by the lexicographic key
 ``(parent label, degree, vertex id)``.  The paper's insight: parent
 labels of the next frontier all lie in the contiguous label range that
@@ -89,18 +94,16 @@ def d_sortperm(
     ctx.charge_compute(region, form_ops)
     recv = ctx.engine.alltoall(send, region)
 
-    # ---- Step 2: local lexicographic sorts ------------------------------
-    sorted_tuples: list[np.ndarray] = []
+    # ---- Step 2: local lexicographic sorts (one superstep) --------------
+    blocks: list[np.ndarray] = []
     sort_keys = []
     for t in range(p):
         chunks = [c for c in recv[t] if c.size]
         block = np.concatenate(chunks) if chunks else np.empty((0, 3))
         sort_keys.append(block.shape[0])
-        if block.shape[0]:
-            order = np.lexsort((block[:, 2], block[:, 1], block[:, 0]))
-            block = block[order]
-        sorted_tuples.append(block)
+        blocks.append(block)
     ctx.charge_sort(region, sort_keys)
+    sorted_tuples = ctx.run_superstep("lexsort3", blocks, region)
 
     # ---- Step 3: exclusive scan of bucket sizes -------------------------
     scan = ctx.engine.exscan_counts([b.shape[0] for b in sorted_tuples], region)

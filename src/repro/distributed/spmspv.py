@@ -1,5 +1,11 @@
 """Distributed SpMSpV on the 2D grid (paper Sections III-IV).
 
+Engines: simulated + processes — Phase A/C communication goes through
+the context's collective engine, and the Phase B block multiplies and
+Phase C merges are supersteps (:meth:`DistContext.run_superstep`) that
+execute on real workers under the processes engine.  Charges modeled
+compute and communication into the caller's region.
+
 The kernel follows the CombBLAS 2D algorithm the paper builds on
 ("AllGather & AlltoAll on subcommunicator", Table I):
 
@@ -31,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..semiring.semiring import Semiring
-from ..semiring.spmspv import spmspv_csc, spmspv_work
+from ..semiring.spmspv import spmspv_work
 from ..sparse.spvector import SparseVector
 from .distmatrix import DistSparseMatrix
 from .distvector import DistSparseVector
@@ -53,6 +59,23 @@ def _unpack(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return packed[:, 0].astype(np.int64), packed[:, 1].copy()
 
 
+def _backend_name(backend):
+    """Engine-portable backend reference.
+
+    Prefers the registry name (resolvable in any process); falls back to
+    the instance itself for unregistered backends, which then must be
+    picklable to cross the processes engine's pipes.
+    """
+    from ..backends import available_backends, get_backend
+
+    # resolve ``None`` to the *driver's* current default by name, so
+    # workers (whose default was frozen at fork time) follow the driver
+    resolved = get_backend(backend)
+    if resolved.name in available_backends() and get_backend(resolved.name) is resolved:
+        return resolved.name
+    return resolved
+
+
 def dist_spmspv(
     A: DistSparseMatrix,
     x: DistSparseVector,
@@ -69,6 +92,7 @@ def dist_spmspv(
     ctx = A.ctx
     g = ctx.grid
     n = A.n
+    backend_ref = _backend_name(backend)
 
     # ---------------- Phase A: gather input pieces per grid column -----
     # Column block j's entries live in vector pieces j*pr .. (j+1)*pr - 1
@@ -89,26 +113,30 @@ def dist_spmspv(
         col_inputs.append(local)
 
     # ---------------- Phase B: local multiplies ------------------------
-    partials: dict[tuple[int, int], SparseVector] = {}
+    matrix_key = A.ensure_resident()
     ops_per_rank: list[int] = []
-    for i in range(g.pr):
-        for j in range(g.pc):
-            blk = A.block(i, j)
-            xj = col_inputs[j]
-            ops_per_rank.append(spmspv_work(blk, xj))
-            partials[(i, j)] = spmspv_csc(blk, xj, sr, backend=backend)
+    payloads = []
+    for r in range(g.size):
+        i, j = g.coords(r)
+        xj = col_inputs[j]
+        ops_per_rank.append(spmspv_work(A.block(i, j), xj))
+        payloads.append(
+            (matrix_key, r, xj.indices, xj.values, xj.n, sr, backend_ref)
+        )
     ctx.charge_compute(region, ops_per_rank)
+    multiplied = ctx.run_superstep("spmspv_block", payloads, region)
+    partials: dict[tuple[int, int], SparseVector] = {}
+    for r, (idx, vals) in enumerate(multiplied):
+        i, j = g.coords(r)
+        partials[(i, j)] = SparseVector(
+            int(A.row_offsets[i + 1] - A.row_offsets[i]), idx, vals
+        )
 
     # ---------------- Phase C: merge within processor rows -------------
+    # one personalized Alltoall per processor row, all rows concurrent
     offs = g.vector_offsets(n)
-    out_indices: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * g.size
-    out_values: list[np.ndarray] = [np.empty(0, dtype=np.float64)] * g.size
-    merge_ops: list[int] = []
-    worst_alltoall = 0.0
-    total_msgs = 0
-    total_words = 0
+    send_groups: list[list[list[np.ndarray]]] = []
     for i in range(g.pr):
-        # split each rank's partial output by destination piece
         send: list[list[np.ndarray]] = []
         for j in range(g.pc):
             part = partials[(i, j)]
@@ -120,41 +148,25 @@ def dist_spmspv(
                 b = np.searchsorted(grows, offs[dest_rank + 1], side="left")
                 row.append(_pack(grows[a:b], part.values[a:b]))
             send.append(row)
-        # cost of this row group's alltoall (groups run concurrently)
-        from ..machine.comm import words_of
+        send_groups.append(send)
+    recv_groups = ctx.engine.alltoall_groups(send_groups, region)
 
-        sent_words = [sum(words_of(b) for b in send[j]) for j in range(g.pc)]
-        recv_words = [
-            sum(words_of(send[j][t]) for j in range(g.pc)) for t in range(g.pc)
-        ]
-        busiest = max(max(sent_words, default=0), max(recv_words, default=0))
-        sec, msgs, _ = ctx.engine.alltoall_cost(g.pc, busiest)
-        worst_alltoall = max(worst_alltoall, sec)
-        total_msgs += msgs * g.pc
-        total_words += sum(sent_words)
-        # deliver and merge at each destination piece
+    # deliver and merge at each destination piece (rank order i*pc + t)
+    merge_ops: list[int] = []
+    merge_payloads = []
+    for i in range(g.pr):
         for t in range(g.pc):
-            dest_rank = i * g.pc + t
-            chunks = [send[j][t] for j in range(g.pc)]
+            chunks = recv_groups[i][t]
             packed = (
                 np.concatenate(chunks)
                 if any(c.size for c in chunks)
                 else np.empty((0, 2))
             )
-            idx, vals = _unpack(packed)
-            merge_ops.append(int(idx.size))
-            if idx.size == 0:
-                continue
-            order = np.argsort(idx, kind="stable")
-            idx, vals = idx[order], vals[order]
-            boundary = np.empty(idx.size, dtype=bool)
-            boundary[0] = True
-            np.not_equal(idx[1:], idx[:-1], out=boundary[1:])
-            starts = np.flatnonzero(boundary)
-            reduced = np.asarray(sr.add_ufunc.reduceat(vals, starts), dtype=np.float64)
-            out_indices[dest_rank] = idx[starts]
-            out_values[dest_rank] = reduced
-    ctx.ledger.charge_comm(region, worst_alltoall, total_msgs, total_words)
+            merge_ops.append(packed.shape[0])
+            merge_payloads.append((packed, sr))
     ctx.charge_compute(region, merge_ops)
+    merged = ctx.run_superstep("merge_packed", merge_payloads, region)
+    out_indices = [idx for idx, _ in merged]
+    out_values = [vals for _, vals in merged]
 
     return DistSparseVector(ctx, n, out_indices, out_values)

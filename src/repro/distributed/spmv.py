@@ -1,5 +1,10 @@
 """Distributed dense-vector SpMV and CG on the 2D grid.
 
+Engines: simulated + processes — communication goes through the
+engine's collectives; the dense local multiplies are driver-side under
+both engines (they are not on the RCM hot path the processes engine
+parallelizes).  Charges modeled compute and communication cost.
+
 The paper motivates RCM with iterative solvers (Fig. 1).  This module
 closes the loop *inside the simulated machine*: a 2D-distributed
 ``y = A x`` for dense vectors (Allgather along grid columns, local

@@ -1,9 +1,14 @@
-"""Simulated distributed machine: cost model, grid, collectives.
+"""Distributed machine model: cost model, grid, collectives.
 
-This package is the stand-in for NERSC Edison + MPI.  Algorithms built on
-it execute their real data movement in memory while the machine charges
-modeled time using the paper's ``T = F + alpha*S + beta*W`` model — see
-DESIGN.md, "Substitutions".
+Engines: this package implements the simulated engine and the modeled
+cost accounting *both* engines share; the processes engine
+(:mod:`repro.runtime`) subclasses :class:`CollectiveEngine` here.
+Charges modeled time using the paper's ``T = F + alpha*S + beta*W``
+model — see DESIGN.md, "Substitutions" and "Execution engines".
+
+This package is the stand-in for NERSC Edison + MPI.  Algorithms built
+on it execute their real data movement in memory while the machine
+charges modeled time.
 """
 
 from .comm import CollectiveEngine, words_of

@@ -1,5 +1,11 @@
 """Simulated MPI collectives: real data movement + modeled cost.
 
+Engines: this module *is* the simulated engine; the processes engine
+(:class:`repro.runtime.engine.ProcessCollectiveEngine`) subclasses
+:class:`CollectiveEngine` and reuses the ``_charge_*`` helpers below, so
+the modeled ledger is bit-identical under both engines.  Charges modeled
+communication time for every collective.
+
 Each collective here does two things at once:
 
 1. **Moves the actual bytes.**  Inputs are per-rank numpy arrays; outputs
@@ -15,6 +21,13 @@ Each collective here does two things at once:
 Groups of concurrent collectives (e.g. one Allgather per processor column)
 charge ``max`` over groups, because the groups run simultaneously on
 disjoint subcommunicators.
+
+The **collectives contract** both engines satisfy (see DESIGN.md,
+"Execution engines"): identical results to this module's reference
+implementation, identical modeled charges, for ``allgather_groups``,
+``alltoall`` / ``alltoall_groups``, ``allreduce_scalar`` /
+``allreduce_array`` / ``allreduce_lexmin``, ``exscan_counts``, ``bcast``
+and ``gather_to_root``.
 """
 
 from __future__ import annotations
@@ -98,6 +111,61 @@ class CollectiveEngine:
         return seconds, q - 1, total_words
 
     # ------------------------------------------------------------------
+    # Charging helpers (shared verbatim by the processes engine so the
+    # modeled ledger cannot drift between engines)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _concat_group(parts: list[np.ndarray]) -> np.ndarray:
+        """Reference result of one Allgather group (concatenation)."""
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+
+    def _charge_allgather_groups(
+        self,
+        group_sizes: Sequence[int],
+        out_words: Sequence[int],
+        region: str,
+    ) -> None:
+        worst = 0.0
+        tot_msgs = 0
+        tot_words = 0
+        for q, words in zip(group_sizes, out_words):
+            sec, msgs, wrds = self.allgather_cost(q, words)
+            worst = max(worst, sec)
+            tot_msgs += msgs * max(q, 1)
+            tot_words += wrds * max(q, 1)
+        self.ledger.charge_comm(region, worst, tot_msgs, tot_words)
+
+    def _charge_alltoall_groups(
+        self,
+        groups: Sequence[Sequence[Sequence[np.ndarray]]],
+        region: str,
+    ) -> None:
+        worst = 0.0
+        tot_msgs = 0
+        tot_words = 0
+        for send in groups:
+            q = len(send)
+            sent_words = [sum(words_of(b) for b in send[i]) for i in range(q)]
+            recv_words = [
+                sum(words_of(send[i][j]) for i in range(q)) for j in range(q)
+            ]
+            busiest = max(max(sent_words, default=0), max(recv_words, default=0))
+            sec, msgs, _ = self.alltoall_cost(q, busiest)
+            worst = max(worst, sec)
+            tot_msgs += msgs * q
+            tot_words += sum(sent_words)
+        self.ledger.charge_comm(region, worst, tot_msgs, tot_words)
+
+    def _charge_gather_to_root(
+        self, parts: Sequence[np.ndarray], region: str
+    ) -> None:
+        total_words = sum(words_of(p) for p in parts[1:])  # root's part is free
+        sec, msgs, wrds = self.gather_to_root_cost(len(parts), total_words)
+        self.ledger.charge_comm(region, sec, msgs, wrds)
+
+    # ------------------------------------------------------------------
     # Data-moving collectives
     # ------------------------------------------------------------------
     def allgather_groups(
@@ -112,23 +180,20 @@ class CollectiveEngine:
         holding.  Charges the maximum group cost once (groups overlap in
         time) and counts messages/words across all groups.
         """
-        results: list[np.ndarray] = []
-        worst = 0.0
-        tot_msgs = 0
-        tot_words = 0
-        for group in groups:
-            parts = list(group)
-            if parts:
-                out = np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
-            else:
-                out = np.empty(0)
-            results.append(out)
-            sec, msgs, wrds = self.allgather_cost(len(parts), words_of(out))
-            worst = max(worst, sec)
-            tot_msgs += msgs * max(len(parts), 1)
-            tot_words += wrds * max(len(parts), 1)
-        self.ledger.charge_comm(region, worst, tot_msgs, tot_words)
+        results = [self._concat_group(list(group)) for group in groups]
+        self._charge_allgather_groups(
+            [len(group) for group in groups],
+            [words_of(out) for out in results],
+            region,
+        )
         return results
+
+    @staticmethod
+    def _validate_alltoall(send: Sequence[Sequence[np.ndarray]]) -> None:
+        q = len(send)
+        for i, row in enumerate(send):
+            if len(row) != q:
+                raise ValueError(f"send[{i}] must list one buffer per rank")
 
     def alltoall(
         self,
@@ -141,17 +206,30 @@ class CollectiveEngine:
         has ``recv[j][i] = send[i][j]``.  Bandwidth is charged at the
         busiest rank (max of words sent or received per rank).
         """
-        q = len(send)
-        for i, row in enumerate(send):
-            if len(row) != q:
-                raise ValueError(f"send[{i}] must list one buffer per rank")
-        recv = [[send[i][j] for i in range(q)] for j in range(q)]
-        sent_words = [sum(words_of(b) for b in send[i]) for i in range(q)]
-        recv_words = [sum(words_of(b) for b in recv[j]) for j in range(q)]
-        busiest = max(max(sent_words, default=0), max(recv_words, default=0))
-        sec, msgs, _ = self.alltoall_cost(q, busiest)
-        self.ledger.charge_comm(region, sec, msgs * q, sum(sent_words))
-        return recv
+        return self.alltoall_groups([send], region)[0]
+
+    def alltoall_groups(
+        self,
+        groups: Sequence[Sequence[Sequence[np.ndarray]]],
+        region: str,
+    ) -> list[list[list[np.ndarray]]]:
+        """Concurrent personalized all-to-alls on disjoint subcommunicators.
+
+        ``groups[g][i][j]`` is what rank ``i`` of group ``g`` sends to
+        rank ``j`` of the same group (e.g. one exchange per processor
+        row).  Charges the maximum group cost once, like
+        :meth:`allgather_groups`; messages and words accumulate across
+        groups.  Returns ``recv`` with ``recv[g][j][i] = groups[g][i][j]``.
+        """
+        recv_groups: list[list[list[np.ndarray]]] = []
+        for send in groups:
+            self._validate_alltoall(send)
+            q = len(send)
+            recv_groups.append(
+                [[send[i][j] for i in range(q)] for j in range(q)]
+            )
+        self._charge_alltoall_groups(groups, region)
+        return recv_groups
 
     def allreduce_scalar(
         self,
@@ -216,10 +294,7 @@ class CollectiveEngine:
         self, per_rank_arrays: Sequence[np.ndarray], region: str
     ) -> np.ndarray:
         """Concatenate all per-rank buffers at a root rank."""
-        q = len(per_rank_arrays)
         parts = [np.asarray(a) for a in per_rank_arrays]
         out = np.concatenate(parts) if parts else np.empty(0)
-        total_words = sum(words_of(p) for p in parts[1:])  # root's own part is free
-        sec, msgs, wrds = self.gather_to_root_cost(q, total_words)
-        self.ledger.charge_comm(region, sec, msgs, wrds)
+        self._charge_gather_to_root(parts, region)
         return out

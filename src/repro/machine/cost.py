@@ -1,4 +1,9 @@
-"""Cost accounting for the simulated machine.
+"""Cost accounting: the ledger both engines charge into.
+
+Engines: simulated + processes — a :class:`CostLedger` records modeled
+time under either engine, and the processes engine keeps a *second*
+ledger of measured wall-clock (``DistContext.measured``) with the same
+region names, which is what makes the calibration report line up.
 
 A :class:`CostLedger` accumulates modeled time into named *regions* so the
 benchmark harness can reproduce the paper's stacked-bar breakdowns

@@ -1,5 +1,10 @@
 """Two-dimensional process grid (CombBLAS layout).
 
+Engines: simulated + processes — the grid describes SPMD *ranks*, which
+the simulated engine loops over and the processes engine maps onto
+worker processes in contiguous chunks; pure geometry, charges no
+modeled cost.
+
 The paper distributes matrices on a ``pr x pc`` grid; processor ``P(i, j)``
 owns the block of rows ``i*m/pr .. (i+1)*m/pr`` and columns
 ``j*n/pc .. (j+1)*n/pc``.  Vectors live on the same grid: the paper's
@@ -75,6 +80,19 @@ class ProcessGrid:
     def square(cls, nprocs: int) -> "ProcessGrid":
         side = square_grid_side(nprocs)
         return cls(side, side)
+
+    @classmethod
+    def fitting(cls, nprocs: int) -> "ProcessGrid":
+        """Square grid when ``nprocs`` is a perfect square, else ``1 x n``.
+
+        The calibration bench accepts any worker count (CI smoke runs
+        ``--procs 2``); non-square counts fall back to a one-row grid,
+        which every 2D kernel supports.
+        """
+        side = int(math.isqrt(nprocs))
+        if side * side == nprocs:
+            return cls(side, side)
+        return cls(1, nprocs)
 
     @property
     def size(self) -> int:

@@ -1,4 +1,9 @@
-"""Machine model parameters for the simulated distributed machine.
+"""Machine model parameters of the modeled distributed machine.
+
+Engines: simulated + processes — these constants parameterize the
+modeled ledger identically under both engines (the processes engine
+measures wall-clock *in addition*, never instead); pure model, charges
+nothing itself.
 
 The paper times its implementation on NERSC Edison (Cray XC30: 24-core
 Ivy Bridge nodes, Aries dragonfly interconnect).  We replace the physical

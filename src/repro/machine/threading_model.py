@@ -1,5 +1,10 @@
 """Hybrid OpenMP+MPI core-count accounting.
 
+Engines: simulated + processes — grid/thread configurations feed either
+engine's context; the thread dimension only scales modeled compute time
+(worker processes are single-threaded).  Charges no modeled cost
+itself.
+
 The paper allocates ``p`` cores and creates a ``sqrt(p/t) x sqrt(p/t)``
 process grid with ``t`` OpenMP threads per MPI process (Section V.A);
 their sweet spot is ``t = 6``, and Fig. 6 shows flat MPI (``t = 1``)

@@ -1,0 +1,89 @@
+"""Modeled-vs-measured calibration of the machine cost model.
+
+Engines: reads ledgers from either engine, but only the processes
+engine produces a non-empty measured ledger.  Charges no modeled cost —
+this is pure reporting.
+
+The paper validates its analytic model against measured Edison
+wall-clock (Section IV.B, Fig. 5-7); this module is our analogue.  A
+run on the processes engine yields two ledgers over the same region
+names: the **modeled** ledger (α-β-γ charges for the configured
+machine, e.g. Edison) and the **measured** ledger (wall-clock of the
+worker pool on the host).  The report aligns them per phase so the
+reader can see exactly where the model over- or under-predicts — see
+EXPERIMENTS.md, "Calibration".
+
+Host-side staging overhead is recorded under ``<region>:host``
+subregions; :func:`calibration_rows` folds it into phase totals via
+prefix aggregation and also reports it as its own line.
+"""
+
+from __future__ import annotations
+
+from ..machine.cost import CostLedger
+
+__all__ = ["calibration_rows", "format_calibration"]
+
+#: Top-level phases of the RCM pipeline (Fig. 4 legend) plus totals.
+_PHASES = (
+    "peripheral:spmspv",
+    "peripheral:other",
+    "ordering:spmspv",
+    "ordering:sort",
+    "ordering:other",
+)
+
+
+def _ratio(measured: float, modeled: float) -> str:
+    if modeled <= 0.0:
+        return "n/a"
+    return f"{measured / modeled:.2f}x"
+
+
+def calibration_rows(
+    modeled: CostLedger, measured: CostLedger
+) -> list[list[object]]:
+    """Per-phase ``[phase, modeled s, measured s, measured/modeled]`` rows.
+
+    Phases are the paper's Fig. 4 regions (prefix-aggregated, so the
+    ``:host`` staging subregions are included in their phase); three
+    summary rows follow — host staging overhead, compute/comm split and
+    the grand total.
+    """
+    rows: list[list[object]] = []
+    for phase in _PHASES:
+        mo = modeled.prefix(phase).total_seconds
+        me = measured.prefix(phase).total_seconds
+        rows.append([phase, mo, me, _ratio(me, mo)])
+    host = sum(
+        rc.total_seconds
+        for name, rc in ((n, measured.region(n)) for n in measured.region_names())
+        if name.endswith(":host")
+    )
+    rows.append(["(host staging, incl. above)", 0.0, host, "n/a"])
+    mo_comp, mo_comm = modeled.comm_split()
+    me_comp, me_comm = measured.comm_split()
+    rows.append(["compute (all phases)", mo_comp, me_comp, _ratio(me_comp, mo_comp)])
+    rows.append(["communication (all phases)", mo_comm, me_comm, _ratio(me_comm, mo_comm)])
+    rows.append(
+        [
+            "total",
+            modeled.total_seconds,
+            measured.total_seconds,
+            _ratio(measured.total_seconds, modeled.total_seconds),
+        ]
+    )
+    return rows
+
+
+def format_calibration(
+    modeled: CostLedger, measured: CostLedger, title: str = ""
+) -> str:
+    """Plain-text calibration table (the bench harness's building block)."""
+    from ..bench.reporting import format_table
+
+    return format_table(
+        ["phase", "modeled s", "measured s", "measured/modeled"],
+        calibration_rows(modeled, measured),
+        title=title,
+    )

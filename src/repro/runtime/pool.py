@@ -1,0 +1,285 @@
+"""Worker-process pool: lifecycle, dispatch, crash detection, teardown.
+
+Engines: processes-only (the simulated engine needs no pool).  Charges
+no modeled cost — the pool reports *measured* seconds (per-worker task
+time and full dispatch wall time) to its callers.
+
+A :class:`WorkerPool` forks ``nworkers`` long-lived processes, each
+running :func:`repro.runtime.worker.worker_main` over a private duplex
+pipe.  Simulated ranks map onto workers in contiguous chunks
+(:meth:`assign`), the same mapping used to scatter rank-resident objects
+(matrix blocks), so a rank's state and its supersteps always land on the
+same worker.
+
+Failure model: a worker that dies (killed, OOM, segfault) surfaces as
+:class:`WorkerCrashError` on the next dispatch; a task that merely
+raises surfaces as :class:`TaskError` carrying the worker-side traceback
+while the worker — and the pool — stay usable.  ``close()`` is
+idempotent, runs at interpreter exit for any leaked pool, and tears down
+processes and shared-memory arenas even after crashes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import time
+import weakref
+from typing import Any, Sequence
+
+from .shm import Arena
+from .worker import worker_main
+
+__all__ = ["WorkerPool", "WorkerCrashError", "TaskError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died; the pool can no longer complete supersteps."""
+
+
+class TaskError(RuntimeError):
+    """A task raised on a worker; carries the remote traceback."""
+
+
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+class WorkerPool:
+    """A fixed set of worker processes executing named tasks."""
+
+    def __init__(self, nworkers: int, start_method: str | None = None) -> None:
+        if nworkers < 1:
+            raise ValueError("need at least one worker")
+        method = start_method or os.environ.get("REPRO_START_METHOD", "fork")
+        ctx = mp.get_context(method)
+        # Start the shared-memory resource tracker *before* forking, so every
+        # worker inherits the one tracker instead of lazily spawning its own.
+        # A private per-worker tracker would try to "clean up" (unlink!) the
+        # driver's live arenas when that worker exits.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self.nworkers = nworkers
+        self._procs = []
+        self._conns = []
+        self._closed = False
+        self._broken = False
+        #: keys already scattered to workers (dedup for ensure-style callers)
+        self.registered_keys: set[str] = set()
+        self.in_arena = Arena("in")
+        self.out_arena = Arena("out")
+        for w in range(nworkers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(w, child),
+                name=f"repro-worker-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        _LIVE_POOLS.add(self)
+
+    # ------------------------------------------------------------------
+    # Rank -> worker placement
+    # ------------------------------------------------------------------
+    def assign(self, nranks: int) -> list[int]:
+        """Owning worker of each of ``nranks`` ranks (contiguous chunks)."""
+        return [r * self.nworkers // nranks for r in range(nranks)]
+
+    @property
+    def pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._broken:
+            raise WorkerCrashError(
+                "a worker died earlier; the pool must be closed and rebuilt"
+            )
+
+    def _crash(self, worker: int, cause: BaseException) -> WorkerCrashError:
+        # the pipe protocol is desynced once a worker is lost mid-exchange;
+        # refuse further dispatch until the pool is rebuilt
+        self._broken = True
+        proc = self._procs[worker]
+        proc.join(timeout=0.5)
+        return WorkerCrashError(
+            f"worker {worker} (pid {proc.pid}) died "
+            f"(exitcode {proc.exitcode}): {cause!r}"
+        )
+
+    def _exchange(self, messages: dict[int, tuple]) -> dict[int, tuple[float, Any]]:
+        """Send one message per worker, collect one reply per worker.
+
+        Returns ``{worker: (elapsed_seconds, results)}``; raises
+        :class:`WorkerCrashError` if any addressed worker is gone and
+        :class:`TaskError` if any task raised remotely.
+        """
+        self._check_open()
+        for w, msg in messages.items():
+            try:
+                self._conns[w].send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                raise self._crash(w, exc) from exc
+        replies: dict[int, tuple[float, Any]] = {}
+        failure: TaskError | None = None
+        for w in messages:
+            try:
+                reply = self._conns[w].recv()
+            except (EOFError, OSError) as exc:
+                raise self._crash(w, exc) from exc
+            if reply[0] == "err":
+                failure = failure or TaskError(
+                    f"task failed on worker {w}:\n{reply[1]}"
+                )
+            else:
+                replies[w] = (reply[1], reply[2])
+        if failure is not None:
+            raise failure
+        return replies
+
+    def map_ranks(
+        self, name: str, payloads: Sequence[Any]
+    ) -> tuple[list[Any], float, float]:
+        """Run task ``name`` once per rank payload, on the ranks' workers.
+
+        Every worker receives a message (possibly with an empty payload
+        list), making each call a full synchronization point — the BSP
+        superstep semantics the modeled ledger assumes.  Returns
+        ``(results_in_rank_order, max_worker_seconds, wall_seconds)``.
+        """
+        t0 = time.perf_counter()
+        owner = self.assign(len(payloads)) if payloads else []
+        per_worker: dict[int, list[Any]] = {w: [] for w in range(self.nworkers)}
+        for rank, payload in enumerate(payloads):
+            per_worker[owner[rank]].append(payload)
+        replies = self._exchange(
+            {w: ("map", name, items) for w, items in per_worker.items()}
+        )
+        wall = time.perf_counter() - t0
+        worker_secs = max(elapsed for elapsed, _ in replies.values())
+        results: list[Any] = []
+        cursor = {w: 0 for w in range(self.nworkers)}
+        for rank in range(len(payloads)):
+            w = owner[rank]
+            results.append(replies[w][1][cursor[w]])
+            cursor[w] += 1
+        return results, worker_secs, wall
+
+    def ping(self) -> tuple[float, float]:
+        """One empty round trip: ``(max_worker_seconds, wall_seconds)``."""
+        _, worker_secs, wall = self.map_ranks("ping", [])
+        return worker_secs, wall
+
+    # ------------------------------------------------------------------
+    # Object store
+    # ------------------------------------------------------------------
+    def scatter_object(self, key: str, per_worker_payloads: Sequence[Any]) -> None:
+        """Install ``per_worker_payloads[w]`` as object ``key`` on worker ``w``."""
+        if len(per_worker_payloads) != self.nworkers:
+            raise ValueError("need one payload per worker")
+        self._exchange(
+            {
+                w: ("put", key, per_worker_payloads[w])
+                for w in range(self.nworkers)
+            }
+        )
+        self.registered_keys.add(key)
+
+    def drop_object(self, key: str) -> None:
+        """Free object ``key`` on every worker (no-op on dead pools).
+
+        Shared long-lived pools otherwise accumulate one resident blocks
+        payload per matrix; call this when a matrix is done with the
+        pool.
+        """
+        self.registered_keys.discard(key)
+        if self._closed or self._broken:
+            return
+        self._exchange({w: ("del", key) for w in range(self.nworkers)})
+
+    # ------------------------------------------------------------------
+    # Shared-memory copy supersteps (the collectives' transport)
+    # ------------------------------------------------------------------
+    def run_copy(
+        self, spans: Sequence[tuple[int, int, int]]
+    ) -> tuple[float, float]:
+        """Execute byte copies between the in/out arenas on the workers.
+
+        ``spans`` are ``(src_off, dst_off, nbytes)`` triples with disjoint
+        destinations; they are dealt round-robin across workers.  Always
+        synchronizes every worker (even with no spans), so the measured
+        wall time includes the collective's latency floor.  Returns
+        ``(max_worker_seconds, wall_seconds)``.
+        """
+        t0 = time.perf_counter()
+        per_worker: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(self.nworkers)
+        ]
+        for i, span in enumerate(spans):
+            per_worker[i % self.nworkers].append(span)
+        in_name = self.in_arena.name if spans else ""
+        out_name = self.out_arena.name if spans else ""
+        replies = self._exchange(
+            {
+                w: ("map", "copy_spans", [(in_name, out_name, per_worker[w])])
+                for w in range(self.nworkers)
+            }
+        )
+        wall = time.perf_counter() - t0
+        worker_secs = max(elapsed for elapsed, _ in replies.values())
+        return worker_secs, wall
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop workers and free shared memory (idempotent, crash-safe)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for conn in self._conns:
+            conn.close()
+        self.in_arena.close()
+        self.out_arena.close()
+        _LIVE_POOLS.discard(self)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool(nworkers={self.nworkers}, {state})"

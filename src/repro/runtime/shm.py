@@ -1,0 +1,121 @@
+"""Shared-memory arenas for the process engine's data movement.
+
+Engines: processes-only (the simulated engine never allocates shared
+memory).  Charges no modeled cost — this is the physical transport the
+measured ledger times.
+
+The driver owns two *arenas* (one for collective inputs, one for
+outputs).  An arena is a POSIX shared-memory segment that grows by
+geometric reallocation: when a collective needs more room than the
+current segment offers, a fresh, larger segment is created under a new
+name and the old one is unlinked (workers drop stale attachments from
+their bounded cache).  Growing by replacement keeps every attach
+read-only-stable: a segment's size never changes after creation, so a
+worker can cache its mapping for the arena's whole lifetime.
+
+Workers attach lazily by name through :class:`AttachCache`.  Tracking
+note: driver and workers share one ``resource_tracker`` process (the
+pool forks workers after the tracker exists), and the tracker's cache
+is a name-keyed set — a worker's attach re-registers the same name
+idempotently, and the single entry is removed exactly once, by the
+driver's ``unlink``.  Workers must therefore *not* unregister on
+detach: they would delete the driver's registration and the eventual
+unlink would raise inside the tracker.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from collections import OrderedDict
+from multiprocessing import shared_memory
+
+__all__ = ["Arena", "AttachCache"]
+
+#: Arenas never shrink below this, so tiny collectives reuse one segment.
+_MIN_ARENA_BYTES = 1 << 20
+
+
+class Arena:
+    """A driver-owned, grow-by-replacement shared-memory segment."""
+
+    def __init__(self, role: str) -> None:
+        self.role = role
+        self._shm: shared_memory.SharedMemory | None = None
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        if self._shm is None:
+            raise RuntimeError(f"{self.role} arena not allocated yet")
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self._shm is None else self._shm.size
+
+    @property
+    def buf(self) -> memoryview:
+        if self._shm is None:
+            raise RuntimeError(f"{self.role} arena not allocated yet")
+        return self._shm.buf
+
+    # ------------------------------------------------------------------
+    def ensure(self, nbytes: int) -> str:
+        """Guarantee capacity for ``nbytes``; returns the segment name."""
+        if self._shm is not None and self._shm.size >= max(nbytes, 1):
+            return self._shm.name
+        want = max(nbytes, 2 * self.nbytes, _MIN_ARENA_BYTES)
+        self.close()
+        self._generation += 1
+        name = (
+            f"repro-{os.getpid()}-{self.role}-{self._generation}-"
+            f"{secrets.token_hex(4)}"
+        )
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=want)
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release and unlink the current segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class AttachCache:
+    """Worker-side bounded cache of attached shared-memory segments.
+
+    The driver replaces arena segments under new names as they grow, so
+    a small LRU (two live arenas plus slack for in-flight replacements)
+    is all a worker ever needs.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        self.capacity = capacity
+        self._cache: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+
+    def buf(self, name: str) -> memoryview:
+        shm = self._cache.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+            self._cache[name] = shm
+            while len(self._cache) > self.capacity:
+                _, stale = self._cache.popitem(last=False)
+                stale.close()
+        else:
+            self._cache.move_to_end(name)
+        return shm.buf
+
+    def close(self) -> None:
+        for shm in self._cache.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._cache.clear()

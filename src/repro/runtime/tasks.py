@@ -1,0 +1,138 @@
+"""Named task functions executed per simulated rank, on either engine.
+
+Engines: simulated + processes — the *same* function objects run in the
+driver loop (simulated) and on pool workers (processes), which is what
+makes orderings bit-identical across engines by construction.  Charges
+no modeled cost — callers account modeled time before dispatching; the
+pool records measured time around execution.
+
+Every task has the signature ``fn(state, payload) -> result`` where
+``state`` carries the per-process object store (``state.objects``, e.g.
+a rank's resident matrix blocks) and, on workers, the shared-memory
+attach cache (``state.shm``).  Payloads and results must be picklable:
+they cross a pipe under the processes engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["TASKS", "task", "RuntimeState"]
+
+#: Registry of every dispatchable task, by name.
+TASKS: dict[str, Callable[["RuntimeState", Any], Any]] = {}
+
+
+def task(name: str) -> Callable[[Callable], Callable]:
+    """Register ``fn`` under ``name`` in :data:`TASKS`."""
+
+    def register(fn: Callable) -> Callable:
+        if name in TASKS:
+            raise ValueError(f"task {name!r} already registered")
+        TASKS[name] = fn
+        return fn
+
+    return register
+
+
+class RuntimeState:
+    """Per-process execution state handed to every task."""
+
+    def __init__(self, shm=None) -> None:
+        self.objects: dict[str, Any] = {}
+        self.shm = shm  # AttachCache on workers, None in the driver
+
+    def close(self) -> None:
+        self.objects.clear()
+        if self.shm is not None:
+            self.shm.close()
+
+
+# ----------------------------------------------------------------------
+# Infrastructure tasks
+# ----------------------------------------------------------------------
+@task("ping")
+def _ping(state: RuntimeState, payload: Any) -> Any:
+    """Round-trip no-op: the measured unit of synchronization latency."""
+    return payload
+
+
+@task("copy_spans")
+def _copy_spans(state: RuntimeState, payload) -> int:
+    """Move byte spans between shared-memory arenas (the collectives' mover).
+
+    ``payload = (in_name, out_name, [(src_off, dst_off, nbytes), ...])``.
+    Destination spans are disjoint across workers by construction, so
+    concurrent copies need no locking.  Returns bytes moved.
+    """
+    in_name, out_name, spans = payload
+    if not spans:
+        return 0
+    src = state.shm.buf(in_name)
+    dst = state.shm.buf(out_name)
+    moved = 0
+    for s, d, nb in spans:
+        dst[d : d + nb] = src[s : s + nb]
+        moved += nb
+    return moved
+
+
+# ----------------------------------------------------------------------
+# Distributed-kernel supersteps
+# ----------------------------------------------------------------------
+@task("spmspv_block")
+def _spmspv_block(state: RuntimeState, payload):
+    """Phase B of the 2D SpMSpV: one rank's local block multiply.
+
+    ``payload = (matrix_key, rank, x_indices, x_values, ncols, sr,
+    backend_name)``; the CSC block itself is resident in the object
+    store (registered once per matrix), so only the aligned input piece
+    crosses the wire.  Returns the partial output's ``(indices, values)``.
+    """
+    from ..semiring.spmspv import spmspv_csc
+    from ..sparse.spvector import SparseVector
+
+    matrix_key, rank, idx, vals, ncols, sr, backend = payload
+    blk = state.objects[matrix_key][rank]
+    x = SparseVector(int(ncols), idx, vals)
+    y = spmspv_csc(blk, x, sr, backend=backend)
+    return y.indices, y.values
+
+
+@task("merge_packed")
+def _merge_packed(state: RuntimeState, payload):
+    """Phase C of the 2D SpMSpV: one rank's duplicate merge.
+
+    ``payload = (packed, sr)`` with ``packed`` the rank's received
+    ``(index, value)`` rows.  Sorts by index (stable) and reduces equal
+    indices with the semiring add — ``reduceat`` order is fixed, so the
+    result is identical on every engine.  Returns ``(indices, values)``.
+    """
+    packed, sr = payload
+    if packed.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    idx = packed[:, 0].astype(np.int64)
+    vals = packed[:, 1]
+    order = np.argsort(idx, kind="stable")
+    idx, vals = idx[order], vals[order]
+    boundary = np.empty(idx.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(idx[1:], idx[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    reduced = np.asarray(sr.add_ufunc.reduceat(vals, starts), dtype=np.float64)
+    return idx[starts], reduced
+
+
+@task("lexsort3")
+def _lexsort3(state: RuntimeState, block: np.ndarray) -> np.ndarray:
+    """SORTPERM step 2: one bucket owner's local lexicographic sort.
+
+    ``block`` is an ``(k, 3)`` array of ``(parent, degree, id)`` tuples;
+    returns the rows in ``np.lexsort`` order (deterministic).
+    """
+    if block.shape[0]:
+        order = np.lexsort((block[:, 2], block[:, 1], block[:, 0]))
+        block = block[order]
+    return block

@@ -1,0 +1,83 @@
+"""Worker process main loop of the processes engine.
+
+Engines: processes-only.  Charges no modeled cost — workers only execute
+real work; the driver times them.
+
+Protocol (driver -> worker over one duplex pipe):
+
+``("map", task_name, [payload, ...])``
+    Run the registered task once per payload, in order.  Reply
+    ``("ok", elapsed_seconds, [result, ...])`` — ``elapsed`` times only
+    the task executions, so the driver can separate worker compute from
+    host-side staging and pickling.
+``("put", key, payload)``
+    Store ``payload`` in the worker's object store (e.g. this worker's
+    matrix blocks).  Reply ``("ok", 0.0, None)``.
+``("del", key)``
+    Drop object ``key`` from the store (free worker memory when a
+    matrix is done; missing keys are ignored).  Reply ``("ok", 0.0,
+    None)``.
+``("exit",)``
+    Clean shutdown: close shared-memory attachments and return.
+
+A task that raises replies ``("err", traceback_text)`` and the worker
+*survives* — one poisoned superstep must not take the pool down.  Only
+pipe loss (driver gone) or ``exit`` terminates the loop.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+
+from .shm import AttachCache
+from .tasks import TASKS, RuntimeState
+
+__all__ = ["worker_main"]
+
+
+def worker_main(worker_id: int, conn) -> None:
+    """Serve task messages on ``conn`` until told to exit."""
+    # the driver coordinates shutdown; a stray ^C must not kill workers
+    # mid-superstep and masquerade as a crash
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+    state = RuntimeState(shm=AttachCache())
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # driver died: nothing left to serve
+                break
+            kind = msg[0]
+            if kind == "exit":
+                break
+            try:
+                if kind == "map":
+                    _, name, payloads = msg
+                    fn = TASKS[name]
+                    t0 = time.perf_counter()
+                    results = [fn(state, p) for p in payloads]
+                    elapsed = time.perf_counter() - t0
+                    reply = ("ok", elapsed, results)
+                elif kind == "put":
+                    _, key, payload = msg
+                    state.objects[key] = payload
+                    reply = ("ok", 0.0, None)
+                elif kind == "del":
+                    state.objects.pop(msg[1], None)
+                    reply = ("ok", 0.0, None)
+                else:
+                    reply = ("err", f"unknown message kind {kind!r}")
+            except BaseException:
+                reply = ("err", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # pragma: no cover - driver gone
+                break
+    finally:
+        state.close()
+        conn.close()

@@ -39,6 +39,7 @@ def test_registry_complete():
         "semiring-ablation",
         "skyline",
         "quality",
+        "calibration",
     }
 
 
@@ -126,6 +127,52 @@ def test_cli_json_and_backend_flags(capsys):
     assert doc["backend"] == "numpy"
     assert doc["experiments"][0]["experiment"] == "fig3"
     assert "Fig. 3" in doc["experiments"][0]["report"]
+
+
+def test_calibration_simulated_mode_reports_model_only():
+    from repro.bench.harness import run_calibration
+
+    out = run_calibration(scale=0.45, quick=True, names=["serena"], engine="simulated", procs=2)
+    assert "modeled s" in out and "no measurements" in out
+
+
+def test_calibration_processes_mode_enforces_identical_orderings():
+    from repro.bench.harness import run_calibration
+
+    out = run_calibration(scale=0.45, quick=True, names=["serena"], procs=2)
+    assert "bit-identical to simulated engine: True (enforced)" in out
+    assert "measured/modeled" in out
+
+
+def test_cli_engine_flag_reaches_calibration(capsys):
+    from repro.bench.cli import main
+
+    assert (
+        main(
+            [
+                "calibration",
+                "--quick",
+                "--scale",
+                "0.45",
+                "--matrices",
+                "serena",
+                "--engine",
+                "processes",
+                "--procs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 worker processes" in out
+
+
+def test_cli_warns_when_engine_flag_is_ignored(capsys):
+    from repro.bench.cli import main
+
+    assert main(["fig3", "--quick", "--scale", "0.45", "--matrices", "serena", "--engine", "processes"]) == 0
+    assert "ignored" in capsys.readouterr().err
 
 
 def test_balance_ablation_runs():

@@ -1,0 +1,154 @@
+"""WorkerPool mechanics: dispatch, objects, shared memory, crash, teardown.
+
+These tests assume the default ``fork`` start method (tasks registered at
+test-collection time are inherited by workers).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import TaskError, WorkerCrashError, WorkerPool, task
+from repro.runtime.tasks import TASKS
+
+
+# registered at import time, before any pool forks
+@task("_test_double")
+def _double(state, payload):
+    return payload * 2
+
+
+@task("_test_boom")
+def _boom(state, payload):
+    if payload == "boom":
+        raise ValueError("poisoned payload")
+    return payload
+
+
+@task("_test_read_object")
+def _read_object(state, payload):
+    return state.objects[payload]
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.close()
+
+
+def test_tasks_registered():
+    for name in ("ping", "copy_spans", "spmspv_block", "merge_packed", "lexsort3"):
+        assert name in TASKS
+
+
+def test_map_ranks_preserves_rank_order(pool):
+    payloads = list(range(11))
+    results, worker_secs, wall = pool.map_ranks("_test_double", payloads)
+    assert results == [2 * p for p in payloads]
+    assert 0.0 <= worker_secs <= wall
+
+
+def test_map_ranks_empty_is_a_sync(pool):
+    results, worker_secs, wall = pool.map_ranks("ping", [])
+    assert results == []
+    assert wall > 0.0
+
+
+def test_assign_contiguous_chunks(pool):
+    owner = pool.assign(4)
+    assert owner == [0, 0, 1, 1]
+    assert pool.assign(1) == [0]
+    # more workers than ranks: some workers idle, mapping still valid
+    assert all(0 <= w < pool.nworkers for w in pool.assign(3))
+
+
+def test_task_error_carries_traceback_and_pool_survives(pool):
+    with pytest.raises(TaskError, match="poisoned payload"):
+        pool.map_ranks("_test_boom", ["fine", "boom"])
+    # the worker caught the exception: the pool keeps serving
+    results, _, _ = pool.map_ranks("ping", [1, 2, 3])
+    assert results == [1, 2, 3]
+
+
+def test_scatter_object_per_worker(pool):
+    pool.scatter_object("blocks", ["left-half", "right-half"])
+    assert "blocks" in pool.registered_keys
+    results, _, _ = pool.map_ranks("_test_read_object", ["blocks", "blocks"])
+    assert results == ["left-half", "right-half"]
+
+
+def test_drop_object_frees_workers(pool):
+    pool.scatter_object("blocks", ["a", "b"])
+    pool.drop_object("blocks")
+    assert "blocks" not in pool.registered_keys
+    with pytest.raises(TaskError, match="KeyError"):
+        pool.map_ranks("_test_read_object", ["blocks", "blocks"])
+    pool.drop_object("never-registered")  # idempotent
+
+
+def test_copy_spans_moves_bytes(pool):
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(1000)
+    pool.in_arena.ensure(data.nbytes)
+    pool.out_arena.ensure(data.nbytes)
+    np.frombuffer(pool.in_arena.buf, dtype=np.float64, count=data.size)[:] = data
+    # two disjoint spans, swapped halves
+    half = data.nbytes // 2
+    worker_secs, wall = pool.run_copy([(0, half, half), (half, 0, half)])
+    assert 0.0 <= worker_secs <= wall
+    out = np.frombuffer(pool.out_arena.buf, dtype=np.float64, count=data.size)
+    assert np.array_equal(out[500:], data[:500])
+    assert np.array_equal(out[:500], data[500:])
+
+
+def test_arena_grows_by_replacement(pool):
+    name_small = pool.in_arena.ensure(16)
+    assert pool.in_arena.ensure(8) == name_small  # no shrink, no churn
+    name_big = pool.in_arena.ensure(pool.in_arena.nbytes + 1)
+    assert name_big != name_small
+    # workers can still copy out of the replacement segment
+    pool.out_arena.ensure(8)
+    pool.in_arena.buf[:8] = b"abcdefgh"
+    pool.run_copy([(0, 0, 8)])
+    assert bytes(pool.out_arena.buf[:8]) == b"abcdefgh"
+
+
+def test_worker_crash_detected_and_pool_refuses_further_work(pool):
+    os.kill(pool.pids[0], signal.SIGKILL)
+    deadline = time.time() + 5.0
+    with pytest.raises(WorkerCrashError):
+        while time.time() < deadline:  # the kill can race the first send
+            pool.map_ranks("ping", [1, 2])
+            time.sleep(0.05)
+    with pytest.raises(WorkerCrashError):
+        pool.map_ranks("ping", [1, 2])
+    pool.close()  # teardown after a crash must not raise
+
+
+def test_close_is_idempotent_and_kills_workers():
+    pool = WorkerPool(2)
+    pids = pool.pids
+    pool.map_ranks("ping", [0])
+    pool.close()
+    pool.close()
+    for pid in pids:
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"worker {pid} still alive after close()")
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.map_ranks("ping", [0])
+
+
+def test_pool_requires_at_least_one_worker():
+    with pytest.raises(ValueError):
+        WorkerPool(0)
