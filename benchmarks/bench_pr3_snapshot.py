@@ -1,0 +1,91 @@
+"""Regenerate ``BENCH_PR3.json`` — the PR-3 driver-overhead snapshot.
+
+Measures the wall-clock cost of the simulation *driver* per superstep —
+the Python overhead of executing one bulk-synchronous step over ``p``
+simulated ranks — for the rank-vectorized flat-SoA engine this PR
+introduced against the retained per-rank reference driver
+(``DistContext(rank_vectorized=False)``), on the ldoor surrogate across
+the Fig. 6 flat-MPI core axis up to the paper's 4096 cores.
+
+The per-rank baseline is only run up to 256 ranks (beyond that its
+per-rank Python loops take hours — which is exactly why the old
+``run_fig6`` axis stopped at 256); the acceptance criterion recorded in
+``summary`` is the >=5x driver-time reduction at 256 ranks.
+
+Run from the repo root (writes ``BENCH_PR3.json`` there)::
+
+    PYTHONPATH=src python benchmarks/bench_pr3_snapshot.py
+
+A ``bench``-marked pytest wrapper lives in ``tests/test_bench_snapshot``;
+it is excluded from the tier-1 run (see pytest.ini).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SNAPSHOT_MATRIX = "ldoor"
+SNAPSHOT_SCALE = 1.0
+RANKS = [16, 64, 256, 1024, 4096]
+BASELINE_MAX_RANKS = 256
+
+
+def snapshot(
+    scale: float = SNAPSHOT_SCALE,
+    ranks: list[int] | None = None,
+    baseline_max_ranks: int = BASELINE_MAX_RANKS,
+) -> dict:
+    from repro.bench.harness import _calibrated_machine, measure_driver_overhead
+    from repro.matrices.suite import PAPER_SUITE
+
+    ranks = RANKS if ranks is None else ranks
+    A = PAPER_SUITE[SNAPSHOT_MATRIX].build(scale)
+    rows = measure_driver_overhead(
+        A,
+        ranks,
+        machine=_calibrated_machine(SNAPSHOT_MATRIX, A),
+        baseline_max_ranks=baseline_max_ranks,
+    )
+    with_baseline = [r for r in rows if r["speedup"] is not None]
+    if not with_baseline:
+        raise ValueError(
+            "no baseline point ran: every requested rank count exceeds "
+            f"baseline_max_ranks={baseline_max_ranks}"
+        )
+    biggest = max(r["ranks"] for r in with_baseline)
+    at_biggest = next(r for r in with_baseline if r["ranks"] == biggest)
+    return {
+        "snapshot": "PR3",
+        "matrix": SNAPSHOT_MATRIX,
+        "scale": scale,
+        "n": A.nrows,
+        "nnz": A.nnz,
+        "flat_mpi": True,
+        "baseline": "per-rank driver (DistContext(rank_vectorized=False))",
+        "rows": rows,
+        "summary": {
+            "max_ranks_vectorized": max(r["ranks"] for r in rows),
+            "baseline_max_ranks": biggest,
+            "speedup_at_baseline_max": at_biggest["speedup"],
+            "driver_ms_per_superstep_at_max_ranks": rows[-1][
+                "vectorized_ms_per_superstep"
+            ],
+        },
+    }
+
+
+def main() -> int:
+    doc = snapshot()
+    out = ROOT / "BENCH_PR3.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc["summary"], indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ instead of one Python BFS per root.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..sparse.csr import CSRMatrix
@@ -29,8 +31,64 @@ from .bfs import gather_rows
 __all__ = [
     "bfs_levels_multi",
     "find_pseudo_peripheral_multi",
+    "batching_decision",
+    "BatchingDecision",
     "masked_components",
 ]
+
+#: Average degree above which a graph counts as dense (its BFS flattens
+#: in a handful of levels, so there is no per-level overhead to
+#: amortize and the lockstep bookkeeping constant loses — BENCH_PR1
+#: measured 0.56x on li7nmax6, avg degree ~120, 4 levels).
+DENSE_DEGREE_THRESHOLD = 48.0
+
+#: Minimum probe-BFS level count for the batch to win.  Below this the
+#: batched sweep performs so few lockstep iterations that its
+#: (source, vertex) fused-key dedup costs more than k scalar loops.
+MIN_LEVELS_THRESHOLD = 6
+
+
+@dataclass(frozen=True)
+class BatchingDecision:
+    """Outcome of the frontier-density heuristic (recorded by benches)."""
+
+    use_batched: bool
+    reason: str
+    avg_degree: float
+    probe_levels: int | None = None
+
+    def describe(self) -> str:
+        return ("batched" if self.use_batched else "scalar") + f" ({self.reason})"
+
+
+def batching_decision(A: CSRMatrix, start: int | None = None) -> BatchingDecision:
+    """Decide batched-lockstep vs per-root scalar BFS for a finder batch.
+
+    Two gates, cheapest first: a density gate (average degree — dense
+    graphs have shallow BFS trees), then a probe BFS from ``start``
+    whose level count estimates the pseudo-diameter.  The probe costs
+    one BFS against the ~2 BFS per start the finder itself performs, so
+    its overhead amortizes across the batch.
+    """
+    avg_degree = A.nnz / max(A.nrows, 1)
+    if avg_degree >= DENSE_DEGREE_THRESHOLD:
+        return BatchingDecision(
+            False, f"dense: avg degree {avg_degree:.0f}", avg_degree
+        )
+    if start is None:
+        return BatchingDecision(
+            True, f"sparse: avg degree {avg_degree:.1f}", avg_degree
+        )
+    from .bfs import bfs_levels
+
+    _, nlevels = bfs_levels(A, int(start))
+    if nlevels < MIN_LEVELS_THRESHOLD:
+        return BatchingDecision(
+            False, f"shallow: probe BFS has {nlevels} levels", avg_degree, nlevels
+        )
+    return BatchingDecision(
+        True, f"deep: probe BFS has {nlevels} levels", avg_degree, nlevels
+    )
 
 
 def bfs_levels_multi(
@@ -91,6 +149,8 @@ def find_pseudo_peripheral_multi(
     A: CSRMatrix,
     starts: np.ndarray,
     degrees: np.ndarray | None = None,
+    *,
+    heuristic: bool = True,
 ) -> list:
     """George-Liu pseudo-peripheral search from many starts, in lockstep.
 
@@ -100,6 +160,13 @@ def find_pseudo_peripheral_multi(
     moves every active root to the minimum-degree vertex of its last
     level (ties to the smallest id, like the algebraic REDUCE).  Starts
     whose eccentricity estimate stops growing drop out of the batch.
+
+    ``heuristic`` (default on) routes batches through
+    :func:`batching_decision` first: dense or shallow graphs — where the
+    lockstep bookkeeping loses to per-root scalar loops — fall back to
+    the reference implementation.  Pass ``heuristic=False`` to force the
+    batched sweep (the backend-ablation bench does, to measure batching
+    itself).  Results are bit-identical either way.
 
     Returns a list of
     :class:`~repro.core.pseudo_peripheral.PseudoPeripheralResult`, one
@@ -118,6 +185,16 @@ def find_pseudo_peripheral_multi(
         # a size-1 batch has no per-level overhead to amortize; the
         # scalar loop wins by the lockstep bookkeeping constant
         return [find_pseudo_peripheral_reference(A, int(starts[0]), degrees)]
+    if heuristic:
+        # both gates: density first (free), then a probe BFS from the
+        # first start — the finder performs ~2 BFS per start, so one
+        # probe costs at most 1/(2k) of the batch it is routing
+        decision = batching_decision(A, int(starts[0]))
+        if not decision.use_batched:
+            return [
+                find_pseudo_peripheral_reference(A, int(s), degrees)
+                for s in starts
+            ]
     k = starts.size
     r = starts.copy()
     ell = np.zeros(k, dtype=np.int64)

@@ -78,8 +78,9 @@ def dist_bfs(
             frontier = DistSparseVector(
                 ctx,
                 n,
-                [i.copy() for i in nxt.indices],
-                [i.astype(np.float64) for i in nxt.indices],
+                nxt.idx.copy(),
+                nxt.idx.astype(np.float64),
+                nxt.starts.copy(),
             )
         else:
             frontier = nxt

@@ -38,6 +38,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..machine.comm import CollectiveEngine
 from ..machine.cost import CostLedger
 from ..machine.grid import ProcessGrid
@@ -63,6 +65,7 @@ class DistContext:
         engine: str = "simulated",
         procs: int | None = None,
         pool=None,
+        rank_vectorized: bool = True,
     ) -> None:
         self.grid = grid
         self.machine = machine if machine is not None else edison()
@@ -70,7 +73,15 @@ class DistContext:
         #: Measured wall-clock ledger; stays empty on the simulated engine.
         self.measured = CostLedger()
         self.engine_name = engine
+        #: Rank-vectorized driver: distributed operations execute as flat
+        #: segment operations over all ranks at once instead of a Python
+        #: loop per rank.  ``False`` selects the per-rank reference path
+        #: (the pre-vectorization oracle the equivalence suite and the
+        #: driver-overhead bench compare against).  Results and modeled
+        #: ledgers are bit-identical either way.
+        self.rank_vectorized = bool(rank_vectorized)
         self._objects: dict[str, Any] = {}
+        self._offsets_cache: dict[int, np.ndarray] = {}
         self._owns_pool = False
         if engine == "simulated":
             if procs is not None or pool is not None:
@@ -105,6 +116,25 @@ class DistContext:
         """Total cores this configuration models (processes x threads)."""
         return self.nprocs * self.machine.threads_per_process
 
+    @property
+    def flat_supersteps(self) -> bool:
+        """True when heavy kernels may run as one fused driver operation.
+
+        The processes engine must dispatch per-rank payloads to its
+        workers, so only the simulated engine takes the fused path (and
+        only while ``rank_vectorized`` is on).
+        """
+        return self.rank_vectorized and self.pool is None
+
+    def vector_offsets(self, n: int) -> np.ndarray:
+        """Cached ``grid.vector_offsets(n)`` (read-only; shared freely)."""
+        offs = self._offsets_cache.get(n)
+        if offs is None:
+            offs = self.grid.vector_offsets(n)
+            offs.setflags(write=False)
+            self._offsets_cache[n] = offs
+        return offs
+
     # ------------------------------------------------------------------
     # Compute charging (BSP: a superstep costs its slowest rank)
     # ------------------------------------------------------------------
@@ -113,21 +143,36 @@ class DistContext:
 
         ``ops_per_rank[k]`` is the scalar-operation count rank ``k``
         performed; the superstep's elapsed time is the slowest rank's.
+        Accepts a list or an ndarray (the batched charging path: one call
+        per superstep with a per-rank cost array, no per-rank loop).
         """
         if not len(ops_per_rank):
             return
-        worst = max(ops_per_rank)
-        total = int(sum(ops_per_rank))
+        if isinstance(ops_per_rank, np.ndarray):
+            worst = ops_per_rank.max()
+            total = int(ops_per_rank.sum())
+        else:
+            worst = max(ops_per_rank)
+            total = int(sum(ops_per_rank))
         self.ledger.charge_compute(
             region, self.machine.compute_time(worst), operations=total
         )
 
     def charge_sort(self, region: str, keys_per_rank: Sequence[float]) -> None:
-        """Charge one superstep of local comparison sorting."""
+        """Charge one superstep of local comparison sorting.
+
+        Accepts a list or an ndarray; ``sort_time`` is monotonic in the
+        key count, so the batched path charges ``sort_time(max(keys))``
+        — the exact value the per-rank maximum would have produced.
+        """
         if not len(keys_per_rank):
             return
-        worst = max(self.machine.sort_time(k) for k in keys_per_rank)
-        total = int(sum(keys_per_rank))
+        if isinstance(keys_per_rank, np.ndarray):
+            worst = self.machine.sort_time(float(keys_per_rank.max()))
+            total = int(keys_per_rank.sum())
+        else:
+            worst = max(self.machine.sort_time(k) for k in keys_per_rank)
+            total = int(sum(keys_per_rank))
         self.ledger.charge_compute(region, worst, operations=total)
 
     # ------------------------------------------------------------------
@@ -211,6 +256,7 @@ class DistContext:
             CostLedger(),
             engine=self.engine_name,
             pool=self.pool,
+            rank_vectorized=self.rank_vectorized,
         )
 
     def close(self) -> None:

@@ -26,10 +26,61 @@ from .distvector import DistDenseVector
 __all__ = ["DistSparseMatrix"]
 
 
+class _FlatBlocks:
+    """Rank-fused view of all blocks for the vectorized SpMSpV driver.
+
+    Entries are grouped by *cell* — the pair ``(global column c, block
+    row i)``, a single block's slice of one column — laid out in cell-id
+    order with ``cell_id = c * pr + i``.  Within a cell, entries keep the
+    block's CSC order (ascending row), so a multi-range gather over
+    cells reproduces every rank's per-block column gather at once.
+    """
+
+    __slots__ = ("pr", "cell_ptr", "grow", "vals")
+
+    def __init__(self, mat: "DistSparseMatrix") -> None:
+        grid = mat.ctx.grid
+        self.pr = grid.pr
+        keys, grows, vals = [], [], []
+        for (i, j), blk in mat.blocks.items():
+            if blk.nnz == 0:
+                continue
+            local_cols = np.repeat(
+                np.arange(blk.ncols, dtype=np.int64), blk.col_degrees()
+            )
+            keys.append((local_cols + mat.col_offsets[j]) * self.pr + i)
+            grows.append(blk.indices + mat.row_offsets[i])
+            vals.append(blk.data)
+        if keys:
+            key = np.concatenate(keys)
+            order = np.argsort(key, kind="stable")
+            self.grow = np.concatenate(grows)[order]
+            self.vals = np.concatenate(vals)[order]
+            counts = np.bincount(key, minlength=mat.n * self.pr)
+        else:
+            self.grow = np.empty(0, dtype=np.int64)
+            self.vals = np.empty(0, dtype=np.float64)
+            counts = np.zeros(mat.n * self.pr, dtype=np.int64)
+        self.cell_ptr = np.zeros(mat.n * self.pr + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.cell_ptr[1:])
+
+    def col_degrees(self, n: int) -> np.ndarray:
+        """Global column nnz (sum of every block's column degrees)."""
+        return np.diff(self.cell_ptr).reshape(n, self.pr).sum(axis=1)
+
+
 class DistSparseMatrix:
     """A square symmetric sparse matrix distributed on a 2D grid."""
 
-    __slots__ = ("ctx", "n", "blocks", "row_offsets", "col_offsets", "_key")
+    __slots__ = (
+        "ctx",
+        "n",
+        "blocks",
+        "row_offsets",
+        "col_offsets",
+        "_key",
+        "_flat",
+    )
 
     def __init__(
         self,
@@ -45,6 +96,7 @@ class DistSparseMatrix:
         self.row_offsets = row_offsets
         self.col_offsets = col_offsets
         self._key = ctx.new_object_key("dmat")
+        self._flat: _FlatBlocks | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -114,6 +166,18 @@ class DistSparseMatrix:
         :meth:`ensure_resident`); call when done with a shared pool."""
         self.ctx.release_rank_objects(self._key)
 
+    def flat_blocks(self) -> _FlatBlocks:
+        """The rank-fused block structure (built lazily, cached).
+
+        Backs the rank-vectorized SpMSpV: one gather over ``(column,
+        block-row)`` cells computes every rank's local multiply in a
+        single fused numpy pass.  Costs ``O(n * pr)`` words once per
+        matrix.
+        """
+        if self._flat is None:
+            self._flat = _FlatBlocks(self)
+        return self._flat
+
     @property
     def nnz(self) -> int:
         return sum(b.nnz for b in self.blocks.values())
@@ -137,16 +201,11 @@ class DistSparseMatrix:
         Computed the way the real system would: each rank counts its local
         column nnz, then column counts are reduced along processor columns
         (symmetric matrix, so column degrees equal row degrees).  In the
-        simulation we assemble the counts directly; the communication this
-        step models is charged by the caller once at load time.
+        simulation we assemble the counts directly from the fused block
+        structure (one reshape-sum, no per-block loop); the communication
+        this step models is charged by the caller once at load time.
         """
-        full = np.zeros(self.n, dtype=np.float64)
-        g = self.ctx.grid
-        for j in range(g.pc):
-            clo = self.col_offsets[j]
-            for i in range(g.pr):
-                blk = self.blocks[(i, j)]
-                full[clo : clo + blk.ncols] += blk.col_degrees()
+        full = self.flat_blocks().col_degrees(self.n).astype(np.float64)
         return DistDenseVector.from_global(self.ctx, full)
 
     def to_csr(self) -> CSRMatrix:

@@ -11,6 +11,16 @@ primitive in :mod:`repro.core.primitives` and must return element-for-
 element identical results — the property the cross-backend test suite
 enforces for every grid size.
 
+Because the distributed vectors are flat structure-of-arrays
+(:mod:`repro.distributed.distvector`), every primitive runs as one fused
+numpy expression across all ranks: sparse indices are global, so dense
+payload lookups are direct ``data[idx]`` gathers, and per-rank cost
+arrays come from ``diff`` of the rank-offset array.  Charges are charged
+through the batched paths (one call per superstep with a per-rank
+array) and are bit-identical to the per-rank reference loops, which
+remain available under ``DistContext(rank_vectorized=False)`` as the
+equivalence-suite oracle.
+
 Communication-free primitives (IND, SELECT, SET) run on each rank's local
 piece and only charge compute time.  REDUCE charges an Allreduce;
 the global-nnz emptiness test used by the BFS loops charges the same.
@@ -46,21 +56,39 @@ def d_select(
     """``SELECT(x, y, expr)``: keep nonzeros whose dense payload passes.
 
     Purely local: vector pieces of ``x`` and ``y`` are aligned.
+    ``expr`` must be elementwise (it is applied to all ranks' payloads
+    in one call on the vectorized path).
     """
     ctx = x.ctx
-    offs = ctx.grid.vector_offsets(x.n)
+    if not ctx.rank_vectorized:
+        return _d_select_perrank(x, y, expr, region)
+    ctx.charge_compute(region, x.rank_counts())
+    if x.idx.size == 0:
+        return x.copy()
+    mask = np.asarray(expr(y.data[x.idx]), dtype=bool)
+    keep = np.zeros(x.idx.size + 1, dtype=np.int64)
+    np.cumsum(mask, out=keep[1:])
+    return DistSparseVector(
+        ctx, x.n, x.idx[mask], x.vals[mask], keep[x.starts]
+    )
+
+
+def _d_select_perrank(x, y, expr, region):
+    ctx = x.ctx
+    offs = x.offs
+    x_indices, x_values, segments = x.indices, x.values, y.segments
     new_idx, new_vals, ops = [], [], []
     for k in range(ctx.nprocs):
-        idx = x.indices[k]
+        idx = x_indices[k]
         ops.append(idx.size)
         if idx.size == 0:
             new_idx.append(idx.copy())
-            new_vals.append(x.values[k].copy())
+            new_vals.append(x_values[k].copy())
             continue
-        payload = y.segments[k][idx - offs[k]]
+        payload = segments[k][idx - offs[k]]
         mask = np.asarray(expr(payload), dtype=bool)
         new_idx.append(idx[mask])
-        new_vals.append(x.values[k][mask])
+        new_vals.append(x_values[k][mask])
     ctx.charge_compute(region, ops)
     return DistSparseVector(ctx, x.n, new_idx, new_vals)
 
@@ -70,30 +98,55 @@ def d_read_dense(
 ) -> DistSparseVector:
     """The gather overload of ``SET``: payloads of ``x`` from dense ``y``."""
     ctx = x.ctx
-    offs = ctx.grid.vector_offsets(x.n)
+    if not ctx.rank_vectorized:
+        return _d_read_dense_perrank(x, y, region)
+    ctx.charge_compute(region, x.rank_counts())
+    return DistSparseVector(
+        ctx,
+        x.n,
+        x.idx.copy(),
+        y.data[x.idx].astype(np.float64),
+        x.starts.copy(),
+    )
+
+
+def _d_read_dense_perrank(x, y, region):
+    ctx = x.ctx
+    offs = x.offs
+    x_indices, segments = x.indices, y.segments
     new_vals, ops = [], []
     for k in range(ctx.nprocs):
-        idx = x.indices[k]
+        idx = x_indices[k]
         ops.append(idx.size)
         new_vals.append(
-            y.segments[k][idx - offs[k]].astype(np.float64)
+            segments[k][idx - offs[k]].astype(np.float64)
             if idx.size
             else np.empty(0, dtype=np.float64)
         )
     ctx.charge_compute(region, ops)
-    return DistSparseVector(ctx, x.n, [i.copy() for i in x.indices], new_vals)
+    return DistSparseVector(ctx, x.n, [i.copy() for i in x_indices], new_vals)
 
 
 def d_set_dense(y: DistDenseVector, x: DistSparseVector, region: str) -> None:
     """``SET(y, x)``: scatter sparse payloads into the dense vector."""
     ctx = x.ctx
-    offs = ctx.grid.vector_offsets(x.n)
+    if not ctx.rank_vectorized:
+        _d_set_dense_perrank(y, x, region)
+        return
+    y.data[x.idx] = x.vals
+    ctx.charge_compute(region, x.rank_counts())
+
+
+def _d_set_dense_perrank(y, x, region):
+    ctx = x.ctx
+    offs = x.offs
+    x_indices, x_values, segments = x.indices, x.values, y.segments
     ops = []
     for k in range(ctx.nprocs):
-        idx = x.indices[k]
+        idx = x_indices[k]
         ops.append(idx.size)
         if idx.size:
-            y.segments[k][idx - offs[k]] = x.values[k]
+            segments[k][idx - offs[k]] = x_values[k]
     ctx.charge_compute(region, ops)
 
 
@@ -102,8 +155,9 @@ def d_fill_values(x: DistSparseVector, value: float) -> DistSparseVector:
     return DistSparseVector(
         x.ctx,
         x.n,
-        [i.copy() for i in x.indices],
-        [np.full(i.size, value, dtype=np.float64) for i in x.indices],
+        x.idx.copy(),
+        np.full(x.idx.size, value, dtype=np.float64),
+        x.starts.copy(),
     )
 
 
@@ -117,16 +171,43 @@ def d_reduce_argmin(
     :func:`repro.core.primitives.reduce_argmin`.
     """
     ctx = x.ctx
-    offs = ctx.grid.vector_offsets(x.n)
+    if not ctx.rank_vectorized:
+        return _d_reduce_argmin_perrank(x, y, region)
+    p = ctx.nprocs
+    counts = x.rank_counts()
+    pairs = np.full((p, 2), np.inf)
+    if x.idx.size:
+        payload = y.data[x.idx]
+        nonempty = counts > 0
+        seg_heads = x.starts[:-1][nonempty]
+        # per-rank minimum: reduceat over the nonempty segment heads
+        # spans each nonempty segment exactly (empty segments collapse)
+        mins = np.minimum.reduceat(payload, seg_heads)
+        # first in-segment occurrence of each minimum = smallest index
+        hit = np.flatnonzero(payload == np.repeat(mins, counts[nonempty]))
+        first = hit[np.searchsorted(hit, seg_heads)]
+        pairs[nonempty, 0] = payload[first]
+        pairs[nonempty, 1] = x.idx[first]
+    ctx.charge_compute(region, counts)
+    value, index = ctx.engine.allreduce_lexmin(pairs, region)
+    if not np.isfinite(index):
+        raise ValueError("REDUCE over an empty frontier")
+    return int(index)
+
+
+def _d_reduce_argmin_perrank(x, y, region):
+    ctx = x.ctx
+    offs = x.offs
+    x_indices, segments = x.indices, y.segments
     pairs: list[tuple[float, float]] = []
     ops = []
     for k in range(ctx.nprocs):
-        idx = x.indices[k]
+        idx = x_indices[k]
         ops.append(idx.size)
         if idx.size == 0:
             pairs.append((np.inf, np.inf))
             continue
-        payload = y.segments[k][idx - offs[k]]
+        payload = segments[k][idx - offs[k]]
         j = int(np.argmin(payload))  # first occurrence = smallest index
         pairs.append((float(payload[j]), float(idx[j])))
     ctx.charge_compute(region, ops)
@@ -138,8 +219,14 @@ def d_reduce_argmin(
 
 def d_nnz(x: DistSparseVector, region: str) -> int:
     """Global nonzero count (the BFS loop's emptiness test): Allreduce."""
-    total = x.ctx.engine.allreduce_scalar(
-        [float(i.size) for i in x.indices], np.sum, region
+    ctx = x.ctx
+    if not ctx.rank_vectorized:
+        total = ctx.engine.allreduce_scalar(
+            [float(i.size) for i in x.indices], np.sum, region
+        )
+        return int(total)
+    total = ctx.engine.allreduce_scalar(
+        x.rank_counts().astype(np.float64), np.sum, region
     )
     return int(total)
 
@@ -153,13 +240,31 @@ def d_first_index_where(
 
     Used by the multi-component driver to seed Algorithm 4 with the
     smallest unvisited vertex; returns ``n`` when none qualifies.
+    ``predicate`` must be elementwise, like ``d_select``'s ``expr``.
     """
     ctx = y.ctx
-    offs = ctx.grid.vector_offsets(y.n)
+    if not ctx.rank_vectorized:
+        return _d_first_index_where_perrank(y, predicate, region)
+    p = ctx.nprocs
+    pairs = np.full((p, 2), np.inf)
+    hits = np.flatnonzero(np.asarray(predicate(y.data), dtype=bool))
+    if hits.size:
+        owner = np.searchsorted(y.offs[1:], hits, side="right")
+        ranks, head = np.unique(owner, return_index=True)
+        pairs[ranks, 0] = pairs[ranks, 1] = hits[head]
+    ctx.charge_compute(region, np.diff(y.offs))
+    value, _ = ctx.engine.allreduce_lexmin(pairs, region)
+    return y.n if not np.isfinite(value) else int(value)
+
+
+def _d_first_index_where_perrank(y, predicate, region):
+    ctx = y.ctx
+    offs = y.offs
+    segments = y.segments
     pairs: list[tuple[float, float]] = []
     ops = []
     for k in range(ctx.nprocs):
-        seg = y.segments[k]
+        seg = segments[k]
         ops.append(seg.size)
         hits = np.flatnonzero(np.asarray(predicate(seg), dtype=bool))
         if hits.size:

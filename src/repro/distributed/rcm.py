@@ -157,18 +157,16 @@ def _order_component(
         elif sort_impl == "none":
             # the paper's future-work variant ("not sorting at all and
             # sacrifice some quality"): label the frontier in index order
-            # — only an exclusive scan over per-rank counts is needed
-            scan = ctx.engine.exscan_counts(
-                [i.size for i in Lnext.indices], "ordering:sort"
-            )
+            # — only an exclusive scan over per-rank counts is needed;
+            # the concatenation of ``scan[k] + arange(count_k)`` in rank
+            # order is simply ``arange(total)``
+            ctx.engine.exscan_counts(Lnext.rank_counts(), "ordering:sort")
             Rnext = DistSparseVector(
                 ctx,
                 n,
-                [i.copy() for i in Lnext.indices],
-                [
-                    (scan[k] + np.arange(Lnext.indices[k].size)).astype(np.float64)
-                    for k in range(ctx.nprocs)
-                ],
+                Lnext.idx.copy(),
+                np.arange(Lnext.idx.size, dtype=np.float64),
+                Lnext.starts.copy(),
             )
         else:
             raise ValueError(f"unknown sort_impl {sort_impl!r}")
@@ -176,8 +174,9 @@ def _order_component(
         Rnext = DistSparseVector(
             ctx,
             n,
-            [i.copy() for i in Rnext.indices],
-            [v + nv for v in Rnext.values],
+            Rnext.idx.copy(),
+            Rnext.vals + nv,
+            Rnext.starts.copy(),
         )
         nv += nnz_next  # line 11
         d_set_dense(R, Rnext, "ordering:other")  # line 12

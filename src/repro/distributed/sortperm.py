@@ -24,6 +24,16 @@ Pipeline (matches the paper):
 4. ``(id, rank)`` pairs return to each vertex's vector-piece owner
    (AllToAll #2, "only the indices").
 
+Like SpMSpV, two drivers exist: the **rank-vectorized** one (simulated
+engine, default) performs the whole pipeline as fused operations on the
+flat SoA vector — tuple formation and bucketing are single expressions,
+the per-bucket sorts collapse into one bucket-major ``lexsort``, the
+global ranks of the concatenated sorted buckets are ``arange``, and both
+Alltoalls reduce to batched charges from per-rank count arrays — while
+the per-rank driver (processes engine; ``rank_vectorized=False``)
+materializes per-rank buffers and engine supersteps.  Results and
+modeled ledgers are bit-identical.
+
 ``T_SORTPERM = O(n log n / p + beta n/p + iters * alpha * p)``.
 """
 
@@ -35,6 +45,11 @@ from .context import DistContext
 from .distvector import DistDenseVector, DistSparseVector
 
 __all__ = ["d_sortperm", "bucket_of_labels"]
+
+#: Words per (parent, degree, id) wire tuple (3 float64 lanes).
+_TUPLE_WORDS = 3
+#: Words per returning (id, rank) wire pair.
+_PAIR_WORDS = 2
 
 
 def bucket_of_labels(
@@ -67,21 +82,102 @@ def d_sortperm(
     sorted order — identical to the serial
     :func:`repro.core.primitives.sortperm`.
     """
+    if label_span <= 0:
+        raise ValueError("label span must be positive")
+    if x.ctx.flat_supersteps:
+        return _d_sortperm_flat(x, degrees, label_base, label_span, region)
+    return _d_sortperm_perrank(x, degrees, label_base, label_span, region)
+
+
+# ----------------------------------------------------------------------
+# Rank-vectorized driver (simulated engine)
+# ----------------------------------------------------------------------
+def _d_sortperm_flat(
+    x: DistSparseVector,
+    degrees: DistDenseVector,
+    label_base: int,
+    label_span: int,
+    region: str,
+) -> DistSparseVector:
     ctx = x.ctx
     p = ctx.nprocs
-    offs = ctx.grid.vector_offsets(x.n)
+    nnz = x.idx.size
+    rank_counts = x.rank_counts()
+
+    # ---- Step 1: form tuples and route to bucket owners ----------------
+    parent = x.vals
+    deg = degrees.data[x.idx]
+    buckets = (
+        bucket_of_labels(parent, float(label_base), label_span, p)
+        if nnz
+        else np.empty(0, dtype=np.int64)
+    )
+    ctx.charge_compute(region, rank_counts)
+    # routed volume per (source rank, bucket): only the per-rank totals
+    # feed the charge — sent is each source rank's frontier, received is
+    # each bucket's population
+    bucket_counts = np.bincount(buckets, minlength=p)
+    ctx.engine.charge_alltoall_flat(
+        (_TUPLE_WORDS * rank_counts)[None, :],
+        (_TUPLE_WORDS * bucket_counts)[None, :],
+        region,
+    )
+
+    # ---- Step 2: local lexicographic sorts, bucket-major ----------------
+    # one lexsort with the bucket as the primary key equals every bucket
+    # owner's local (parent, degree, id) sort, concatenated in rank order
+    ctx.charge_sort(region, bucket_counts)
+    order = np.lexsort((x.idx, deg, parent, buckets))
+    ids_sorted = x.idx[order]
+
+    # ---- Step 3: exclusive scan of bucket sizes -------------------------
+    # the concatenated sorted buckets make each entry's global rank its
+    # position; the scan itself still synchronizes (and charges)
+    ctx.engine.exscan_counts(bucket_counts, region)
+    granks = np.arange(nnz, dtype=np.float64)
+
+    # ---- Step 4: return (id, global rank) pairs to the piece owners -----
+    ctx.engine.charge_alltoall_flat(
+        (_PAIR_WORDS * bucket_counts)[None, :],
+        (_PAIR_WORDS * rank_counts)[None, :],
+        region,
+    )
+    pos = np.searchsorted(x.idx, ids_sorted)
+    if not np.array_equal(x.idx[pos], ids_sorted):
+        raise AssertionError("SORTPERM lost or duplicated frontier entries")
+    out_vals = np.empty(nnz, dtype=np.float64)
+    out_vals[pos] = granks
+    ctx.charge_compute(region, rank_counts)
+
+    return DistSparseVector(ctx, x.n, x.idx.copy(), out_vals, x.starts.copy())
+
+
+# ----------------------------------------------------------------------
+# Per-rank reference driver (processes engine; rank_vectorized=False)
+# ----------------------------------------------------------------------
+def _d_sortperm_perrank(
+    x: DistSparseVector,
+    degrees: DistDenseVector,
+    label_base: int,
+    label_span: int,
+    region: str,
+) -> DistSparseVector:
+    ctx = x.ctx
+    p = ctx.nprocs
+    offs = x.offs
+    x_indices, x_values, deg_segments = x.indices, x.values, degrees.segments
 
     # ---- Step 1: form tuples and route to bucket owners ----------------
     send: list[list[np.ndarray]] = []
     form_ops = []
     for k in range(p):
-        idx = x.indices[k]
+        idx = x_indices[k]
         form_ops.append(idx.size)
         if idx.size == 0:
             send.append([np.empty((0, 3)) for _ in range(p)])
             continue
-        parent = x.values[k]
-        deg = degrees.segments[k][idx - offs[k]]
+        parent = x_values[k]
+        deg = deg_segments[k][idx - offs[k]]
         tuples = np.empty((idx.size, 3), dtype=np.float64)
         tuples[:, 0] = parent
         tuples[:, 1] = deg
@@ -127,7 +223,7 @@ def d_sortperm(
     for k in range(p):
         chunks = [c for c in back[k] if c.size]
         pairs = np.concatenate(chunks) if chunks else np.empty((0, 2))
-        idx = x.indices[k]
+        idx = x_indices[k]
         place_ops.append(pairs.shape[0])
         vals = np.empty(idx.size, dtype=np.float64)
         if pairs.shape[0] != idx.size:
@@ -138,4 +234,4 @@ def d_sortperm(
         out_vals.append(vals)
     ctx.charge_compute(region, place_ops)
 
-    return DistSparseVector(ctx, x.n, [i.copy() for i in x.indices], out_vals)
+    return DistSparseVector(ctx, x.n, [i.copy() for i in x_indices], out_vals)

@@ -2,9 +2,9 @@
 
 Engines: simulated + processes — Phase A/C communication goes through
 the context's collective engine, and the Phase B block multiplies and
-Phase C merges are supersteps (:meth:`DistContext.run_superstep`) that
-execute on real workers under the processes engine.  Charges modeled
-compute and communication into the caller's region.
+Phase C merges are supersteps that execute on real workers under the
+processes engine.  Charges modeled compute and communication into the
+caller's region.
 
 The kernel follows the CombBLAS 2D algorithm the paper builds on
 ("AllGather & AlltoAll on subcommunicator", Table I):
@@ -20,6 +20,24 @@ The kernel follows the CombBLAS 2D algorithm the paper builds on
   exchanged within processor row ``i`` (Alltoall on a ``pc``-way
   subcommunicator) so each rank receives the entries belonging to its
   vector piece, then merges duplicates with the semiring add.
+
+Two drivers execute this plan:
+
+* :func:`_dist_spmspv_flat` — the **rank-vectorized** driver (simulated
+  engine, default).  All three phases are fused segment operations on
+  the SoA vector: Phase A's per-column concatenations are contiguous
+  slices of the flat vector, Phase B gathers every rank's block columns
+  in one multi-range gather over the matrix's ``(column, block-row)``
+  cells, and Phase C is one stable sort + ``reduceat`` dedup-merge over
+  all destinations at once.  O(1) numpy calls per superstep instead of
+  O(p) Python iterations.
+* :func:`_dist_spmspv_perrank` — the per-rank reference driver: one loop
+  iteration per rank, per-block kernel calls through
+  :mod:`repro.backends`, engine supersteps for Phase B/C.  This is the
+  path the processes engine dispatches from (payloads are slices of the
+  SoA views) and the oracle ``rank_vectorized=False`` runs for the
+  equivalence suite.  Results and modeled ledgers are bit-identical
+  between the two drivers.
 
 Block/piece alignment note: vector pieces are assigned row-major, so row
 block ``i`` is exactly the union of the pieces owned by processor row
@@ -37,26 +55,32 @@ from __future__ import annotations
 import numpy as np
 
 from ..semiring.semiring import Semiring
-from ..semiring.spmspv import spmspv_work
+from ..semiring.spmspv import _group_reduce, spmspv_work
 from ..sparse.spvector import SparseVector
 from .distmatrix import DistSparseMatrix
 from .distvector import DistSparseVector
 
-__all__ = ["dist_spmspv"]
+__all__ = ["dist_spmspv", "PAIR_DTYPE"]
+
+#: Wire format of sparse-vector entries.  A structured dtype keeps the
+#: index lane in int64 end to end — round-tripping indices through
+#: float64 silently corrupts values above 2**53 — while preserving the
+#: 16-byte-per-entry wire size the modeled ledger charges for.
+PAIR_DTYPE = np.dtype([("index", np.int64), ("value", np.float64)])
 
 
 def _pack(indices: np.ndarray, values: np.ndarray) -> np.ndarray:
-    """Wire format of sparse-vector entries: (index, value) float64 pairs."""
-    out = np.empty((indices.size, 2), dtype=np.float64)
-    out[:, 0] = indices
-    out[:, 1] = values
+    """Wire format of sparse-vector entries: ``PAIR_DTYPE`` records."""
+    out = np.empty(indices.size, dtype=PAIR_DTYPE)
+    out["index"] = indices
+    out["value"] = values
     return out
 
 
 def _unpack(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if packed.size == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-    return packed[:, 0].astype(np.int64), packed[:, 1].copy()
+    return packed["index"].astype(np.int64, copy=True), packed["value"].copy()
 
 
 def _backend_name(backend):
@@ -86,13 +110,133 @@ def dist_spmspv(
     """``y = A x`` over semiring ``sr``; charges compute + comm to ``region``.
 
     ``backend`` selects the local-multiply kernel backend
-    (:mod:`repro.backends`) used for every per-block Phase B multiply;
-    ``None`` uses the process-wide default.
+    (:mod:`repro.backends`) used for the per-block Phase B multiplies of
+    the per-rank driver; the rank-vectorized driver computes all blocks
+    in one fused (backend-independent) numpy pass, so the flag only
+    affects execution on the processes engine or with
+    ``rank_vectorized=False``.  Results are identical either way.
     """
+    if A.ctx.flat_supersteps:
+        return _dist_spmspv_flat(A, x, sr, region)
+    return _dist_spmspv_perrank(A, x, sr, region, backend)
+
+
+# ----------------------------------------------------------------------
+# Rank-vectorized driver (simulated engine)
+# ----------------------------------------------------------------------
+def _dist_spmspv_flat(
+    A: DistSparseMatrix,
+    x: DistSparseVector,
+    sr: Semiring,
+    region: str,
+) -> DistSparseVector:
+    ctx = A.ctx
+    g = ctx.grid
+    n = A.n
+    pr, pc, p = g.pr, g.pc, g.size
+    offs = ctx.vector_offsets(n)
+    flat = A.flat_blocks()
+    f = x.idx.size
+
+    # ---------------- Phase A: gather input pieces per grid column -----
+    # Column block j's entries live in vector pieces j*pr .. (j+1)*pr - 1,
+    # so each group's concatenated result is a contiguous slice of the
+    # flat vector; only the charge needs computing.
+    group_entry_bounds = x.starts[np.arange(pc + 1, dtype=np.int64) * pr]
+    group_counts = np.diff(group_entry_bounds)
+    pair_words = PAIR_DTYPE.itemsize // 8  # 2 words per wire entry
+    ctx.engine.charge_allgather_flat(
+        [pr] * pc, (pair_words * group_counts).tolist(), region
+    )
+
+    # ---------------- Phase B: all local multiplies, fused -------------
+    # cell (c, i) = block row i's slice of global column c; gathering the
+    # frontier's cells for every block row at once reproduces each
+    # rank's CSC column gather in kernel order (frontier-major, rows in
+    # CSC order within a column).
+    cells = x.idx[:, None] * pr + np.arange(pr, dtype=np.int64)  # (f, pr)
+    cstart = flat.cell_ptr[cells]
+    clens = flat.cell_ptr[cells + 1] - cstart
+
+    # per-rank op counts: column sums of clens over each group's entries
+    cum = np.zeros((f + 1, pr), dtype=np.int64)
+    np.cumsum(clens, axis=0, out=cum[1:])
+    ops_ji = cum[group_entry_bounds[1:]] - cum[group_entry_bounds[:-1]]  # (pc, pr)
+    ctx.charge_compute(region, ops_ji.T.ravel())
+
+    # multi-range gather of every (entry, block row) cell's matrix slice
+    lens = clens.ravel()  # entry-major, block row inner
+    starts_flat = cstart.ravel()
+    total = int(lens.sum())
+    cum_lens = np.cumsum(lens)
+    pos = np.arange(total, dtype=np.int64) + np.repeat(
+        starts_flat - (cum_lens - lens), lens
+    )
+    cand_grow = flat.grow[pos]
+    cand_vals = flat.vals[pos]
+    xvals = np.repeat(np.broadcast_to(x.vals[:, None], clens.shape).ravel(), lens)
+    products = np.asarray(sr.multiply(cand_vals, xvals), dtype=np.float64)
+
+    # per-rank partial outputs: group-reduce by (grid column, global row)
+    # — stable sort keeps each rank's candidates in kernel order, so the
+    # reduceat sequences match the per-block kernel bit-for-bit
+    j_of_entry = np.repeat(np.arange(pc, dtype=np.int64), group_counts)
+    cand_key = (
+        np.repeat(np.broadcast_to(j_of_entry[:, None], clens.shape).ravel(), lens) * n
+        + cand_grow
+    )
+    if total:
+        pkey, pvals = _group_reduce(cand_key, products, sr)
+    else:
+        pkey = np.empty(0, dtype=np.int64)
+        pvals = np.empty(0, dtype=np.float64)
+    pgrow = pkey % n
+
+    # ---------------- Phase C: merge within processor rows -------------
+    # split points of every partial against every destination piece in
+    # one searchsorted (the partials are (column, row)-sorted and the
+    # rank boundary keys are ascending)
+    bound_keys = (
+        np.arange(pc, dtype=np.int64)[:, None] * n + A.row_offsets[:pr][None, :]
+    ).ravel()
+    partial_bounds = np.searchsorted(pkey, np.append(bound_keys, pc * n))
+    partial_sizes = np.diff(partial_bounds).reshape(pc, pr)
+    dest = np.searchsorted(offs, pgrow, side="right") - 1
+    recv_counts = np.bincount(dest, minlength=p)
+    ctx.engine.charge_alltoall_flat(
+        pair_words * partial_sizes.T,  # (pr, pc): row group i, member j
+        pair_words * recv_counts.reshape(pr, pc),
+        region,
+    )
+
+    # fused dedup-merge over all destination pieces: pieces tile the row
+    # blocks, so one stable sort by global row groups every destination's
+    # contributions in the per-rank chunk order (grid column ascending)
+    ctx.charge_compute(region, recv_counts)
+    if pgrow.size:
+        out_idx, out_vals = _group_reduce(pgrow, pvals, sr)
+    else:
+        out_idx = np.empty(0, dtype=np.int64)
+        out_vals = np.empty(0, dtype=np.float64)
+    return DistSparseVector(ctx, n, out_idx, out_vals)
+
+
+# ----------------------------------------------------------------------
+# Per-rank reference driver (processes engine; rank_vectorized=False)
+# ----------------------------------------------------------------------
+def _dist_spmspv_perrank(
+    A: DistSparseMatrix,
+    x: DistSparseVector,
+    sr: Semiring,
+    region: str,
+    backend=None,
+) -> DistSparseVector:
     ctx = A.ctx
     g = ctx.grid
     n = A.n
     backend_ref = _backend_name(backend)
+    x_indices = x.indices
+    x_values = x.values
 
     # ---------------- Phase A: gather input pieces per grid column -----
     # Column block j's entries live in vector pieces j*pr .. (j+1)*pr - 1
@@ -101,7 +245,7 @@ def dist_spmspv(
     groups = []
     for j in range(g.pc):
         contributions = [
-            _pack(x.indices[q], x.values[q])
+            _pack(x_indices[q], x_values[q])
             for q in range(j * g.pr, (j + 1) * g.pr)
         ]
         groups.append(contributions)
@@ -134,20 +278,24 @@ def dist_spmspv(
 
     # ---------------- Phase C: merge within processor rows -------------
     # one personalized Alltoall per processor row, all rows concurrent
-    offs = g.vector_offsets(n)
+    offs = ctx.vector_offsets(n)
     send_groups: list[list[list[np.ndarray]]] = []
     for i in range(g.pr):
         send: list[list[np.ndarray]] = []
+        # destination pieces of row i are ranks i*pc .. (i+1)*pc - 1;
+        # one vectorized searchsorted against all their boundaries
+        # yields every split point of a partial at once
+        piece_bounds = offs[i * g.pc : (i + 1) * g.pc + 1]
         for j in range(g.pc):
             part = partials[(i, j)]
             grows = part.indices + A.row_offsets[i]
-            row: list[np.ndarray] = []
-            for t in range(g.pc):
-                dest_rank = i * g.pc + t
-                a = np.searchsorted(grows, offs[dest_rank], side="left")
-                b = np.searchsorted(grows, offs[dest_rank + 1], side="left")
-                row.append(_pack(grows[a:b], part.values[a:b]))
-            send.append(row)
+            cuts = np.searchsorted(grows, piece_bounds, side="left")
+            send.append(
+                [
+                    _pack(grows[cuts[t] : cuts[t + 1]], part.values[cuts[t] : cuts[t + 1]])
+                    for t in range(g.pc)
+                ]
+            )
         send_groups.append(send)
     recv_groups = ctx.engine.alltoall_groups(send_groups, region)
 
@@ -160,7 +308,7 @@ def dist_spmspv(
             packed = (
                 np.concatenate(chunks)
                 if any(c.size for c in chunks)
-                else np.empty((0, 2))
+                else np.empty(0, dtype=PAIR_DTYPE)
             )
             merge_ops.append(packed.shape[0])
             merge_payloads.append((packed, sr))

@@ -39,9 +39,12 @@ def dist_spmv_dense(
     n = A.n
 
     # Phase A: every grid column j assembles x restricted to col block j
+    # (hoist the per-rank views once — the segments property builds the
+    # whole p-element list per access)
+    segs = x.segments
     groups = []
     for j in range(g.pc):
-        groups.append([x.segments[q] for q in range(j * g.pr, (j + 1) * g.pr)])
+        groups.append([segs[q] for q in range(j * g.pr, (j + 1) * g.pr)])
     gathered = ctx.engine.allgather_groups(groups, region)
 
     # Phase B: local block multiplies (CSC: y_part += A_ij[:, k] * xj[k])
@@ -88,16 +91,18 @@ def _dist_dot(
 ) -> float:
     """Distributed dot product: local dots + scalar Allreduce."""
     ctx = a.ctx
+    a_segs = a.segments
     locals_ = [
-        float(sa @ sb) for sa, sb in zip(a.segments, b.segments)
+        float(sa @ sb) for sa, sb in zip(a_segs, b.segments)
     ]
-    ctx.charge_compute(region, [2 * s.size for s in a.segments])
+    ctx.charge_compute(region, [2 * s.size for s in a_segs])
     return ctx.engine.allreduce_scalar(locals_, np.sum, region)
 
 
 def _axpy(y: DistDenseVector, alpha: float, x: DistDenseVector) -> None:
-    for sy, sx in zip(y.segments, x.segments):
-        sy += alpha * sx
+    # per-segment and whole-array updates are elementwise-identical; use
+    # the flat storage directly
+    y.data += alpha * x.data
 
 
 @dataclass
@@ -148,7 +153,6 @@ def dist_cg(
             return DistCGResult(x, it, True, float(np.sqrt(rr_new)))
         beta = rr_new / rr
         rr = rr_new
-        for sp, sr in zip(p.segments, r.segments):
-            sp *= beta
-            sp += sr
+        p.data *= beta
+        p.data += r.data
     return DistCGResult(x, max_iterations, False, float(np.sqrt(rr)))

@@ -28,6 +28,13 @@ implementation, identical modeled charges, for ``allgather_groups``,
 ``alltoall`` / ``alltoall_groups``, ``allreduce_scalar`` /
 ``allreduce_array`` / ``allreduce_lexmin``, ``exscan_counts``, ``bcast``
 and ``gather_to_root``.
+
+The **batched charging paths** (``charge_allgather_flat``,
+``charge_alltoall_flat``, plus array-accepting reductions) serve the
+rank-vectorized driver (DESIGN.md §7): they charge concurrent-collective
+cost from per-rank/per-group word-count *arrays* in one call — same
+formulas, same accumulation order, bit-identical ledgers — without
+materializing per-rank buffer lists.
 """
 
 from __future__ import annotations
@@ -166,6 +173,57 @@ class CollectiveEngine:
         self.ledger.charge_comm(region, sec, msgs, wrds)
 
     # ------------------------------------------------------------------
+    # Batched charging paths (the rank-vectorized driver's interface)
+    #
+    # The flat SoA kernels never materialize per-rank buffer lists; they
+    # compute per-rank/per-group word counts as arrays and charge through
+    # these methods, which reproduce the buffer-list helpers above
+    # bit-for-bit (same formulas, same accumulation order).
+    # ------------------------------------------------------------------
+    def charge_allgather_flat(
+        self,
+        group_sizes: Sequence[int],
+        out_words: Sequence[int],
+        region: str,
+    ) -> None:
+        """Charge concurrent Allgathers from per-group result word counts.
+
+        Identical to what :meth:`allgather_groups` charges when group
+        ``g`` has ``group_sizes[g]`` contributors and its concatenated
+        result occupies ``out_words[g]`` words.
+        """
+        self._charge_allgather_groups(group_sizes, out_words, region)
+
+    def charge_alltoall_flat(
+        self,
+        sent_words: np.ndarray,
+        recv_words: np.ndarray,
+        region: str,
+    ) -> None:
+        """Charge concurrent personalized All-to-alls from word counts.
+
+        ``sent_words[g, i]`` / ``recv_words[g, j]`` are the words rank
+        ``i``/``j`` of group ``g`` sends/receives in total; every group
+        has the same size ``q = sent_words.shape[1]``.  Matches
+        :meth:`alltoall_groups`'s charge exactly: latency per group is
+        ``alpha * (q - 1)``, bandwidth is charged at the busiest rank of
+        each group, groups overlap in time (max), and message/word
+        counters accumulate across groups.
+        """
+        sent_words = np.asarray(sent_words, dtype=np.int64)
+        recv_words = np.asarray(recv_words, dtype=np.int64)
+        ngroups, q = sent_words.shape
+        if q <= 1 or ngroups == 0:
+            self.ledger.charge_comm(region, 0.0, 0, int(sent_words.sum()))
+            return
+        busiest = np.maximum(sent_words.max(axis=1), recv_words.max(axis=1))
+        rounds = q - 1
+        worst = float(self.machine.alpha * rounds + self.machine.beta * busiest.max())
+        tot_msgs = ngroups * rounds * q
+        tot_words = int(sent_words.sum())
+        self.ledger.charge_comm(region, worst, tot_msgs, tot_words)
+
+    # ------------------------------------------------------------------
     # Data-moving collectives
     # ------------------------------------------------------------------
     def allgather_groups(
@@ -268,9 +326,17 @@ class CollectiveEngine:
         This is the paper's REDUCE with deterministic tie-breaking: the
         minimum value wins, ties resolve to the smallest index.  MPI would
         implement it as an Allreduce with MINLOC.
+
+        Accepts a list of ``(value, index)`` tuples or a ``(q, 2)`` float
+        array (the batched path: the winner is found with one ``lexsort``
+        instead of a Python ``min`` over per-rank tuples).
         """
         q = len(per_rank_pairs)
-        best = min(per_rank_pairs)
+        if isinstance(per_rank_pairs, np.ndarray):
+            j = np.lexsort((per_rank_pairs[:, 1], per_rank_pairs[:, 0]))[0]
+            best = (float(per_rank_pairs[j, 0]), float(per_rank_pairs[j, 1]))
+        else:
+            best = min(per_rank_pairs)
         sec, msgs, wrds = self.allreduce_cost(q, 2)
         self.ledger.charge_comm(region, sec, msgs * q, wrds * q)
         return best

@@ -133,10 +133,14 @@ class ProcessGrid:
         return block_owner(n, self.size, index)
 
     def vector_offsets(self, n: int) -> np.ndarray:
-        """Start offsets (length ``size + 1``) of every vector segment."""
-        return np.array(
-            [(k * n) // self.size for k in range(self.size)] + [n], dtype=np.int64
-        )
+        """Start offsets (length ``size + 1``) of every vector segment.
+
+        Vectorized (one ``arange`` instead of a per-rank Python loop):
+        the balanced-split formula ``(k * n) // size`` evaluated for all
+        ``k`` at once, which matters when offsets are recomputed per
+        superstep on thousands of simulated ranks.
+        """
+        return (np.arange(self.size + 1, dtype=np.int64) * n) // self.size
 
     # ------------------------------------------------------------------
     # Matrix block ranges

@@ -105,16 +105,18 @@ def _spmspv_block(state: RuntimeState, payload):
 def _merge_packed(state: RuntimeState, payload):
     """Phase C of the 2D SpMSpV: one rank's duplicate merge.
 
-    ``payload = (packed, sr)`` with ``packed`` the rank's received
-    ``(index, value)`` rows.  Sorts by index (stable) and reduces equal
+    ``payload = (packed, sr)`` with ``packed`` the rank's received wire
+    records (:data:`repro.distributed.spmspv.PAIR_DTYPE`: an int64
+    ``index`` lane plus a float64 ``value`` lane, so indices never round
+    -trip through floats).  Sorts by index (stable) and reduces equal
     indices with the semiring add — ``reduceat`` order is fixed, so the
     result is identical on every engine.  Returns ``(indices, values)``.
     """
     packed, sr = payload
     if packed.shape[0] == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-    idx = packed[:, 0].astype(np.int64)
-    vals = packed[:, 1]
+    idx = np.ascontiguousarray(packed["index"])
+    vals = packed["value"]
     order = np.argsort(idx, kind="stable")
     idx, vals = idx[order], vals[order]
     boundary = np.empty(idx.size, dtype=bool)

@@ -35,6 +35,7 @@ def test_registry_complete():
         "sort-ablation",
         "csc-ablation",
         "backend-ablation",
+        "driver-overhead",
         "balance-ablation",
         "semiring-ablation",
         "skyline",

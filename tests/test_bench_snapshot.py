@@ -13,6 +13,21 @@ sys.path.insert(0, str(Path(__file__).parent.parent))
 
 
 @pytest.mark.bench
+def test_pr3_snapshot_measures_driver_overhead_win():
+    from benchmarks.bench_pr3_snapshot import snapshot
+
+    doc = snapshot(scale=0.8, ranks=[16, 64, 256], baseline_max_ranks=256)
+    assert doc["rows"]
+    for row in doc["rows"]:
+        assert row["vectorized_seconds"] > 0
+    # the acceptance criterion of PR3: >=5x driver-time reduction per
+    # superstep at p >= 256 (the rank-vectorized engine amortizes the
+    # per-rank Python loop the baseline pays on every superstep)
+    assert doc["summary"]["baseline_max_ranks"] >= 256
+    assert doc["summary"]["speedup_at_baseline_max"] >= 5.0
+
+
+@pytest.mark.bench
 def test_snapshot_measures_batched_finder_win():
     from benchmarks.bench_pr1_snapshot import snapshot
 

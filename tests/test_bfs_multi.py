@@ -168,3 +168,64 @@ def test_masked_components_long_path_converges():
     mask = np.ones(n, dtype=bool)
     labels = masked_components(A, mask)
     assert (labels == 0).all()
+
+
+# ----------------------------------------------------------------------
+# Frontier-density fallback heuristic (PR-3 satellite)
+# ----------------------------------------------------------------------
+def test_batching_decision_routes_dense_graph_to_scalar():
+    from repro.core.bfs_multi import DENSE_DEGREE_THRESHOLD, batching_decision
+
+    # li7nmax6 is the BENCH_PR1 counterexample: ~120 average degree,
+    # 4-level BFS, batched lockstep measured at 0.56x there
+    A = PAPER_SUITE["li7nmax6"].build(0.35)
+    assert A.nnz / A.nrows >= DENSE_DEGREE_THRESHOLD
+    decision = batching_decision(A)
+    assert not decision.use_batched
+    assert "dense" in decision.reason
+    assert "scalar" in decision.describe()
+
+
+def test_batching_decision_keeps_deep_sparse_graph_batched():
+    from repro.core.bfs_multi import batching_decision
+
+    A = stencil_2d(25, 25)
+    decision = batching_decision(A, start=0)
+    assert decision.use_batched
+    assert decision.probe_levels is not None and decision.probe_levels >= 6
+
+
+def test_batching_decision_probe_catches_shallow_sparse_graph(star7):
+    from repro.core.bfs_multi import batching_decision
+
+    decision = batching_decision(star7, start=1)
+    assert not decision.use_batched
+    assert "shallow" in decision.reason
+
+
+def test_fallback_results_identical_to_batched():
+    # the heuristic only changes execution strategy, never results
+    A = PAPER_SUITE["li7nmax6"].build(0.35)
+    starts = np.array([0, 7, 100, 311], dtype=np.int64)
+    auto = find_pseudo_peripheral_multi(A, starts)  # dense -> scalar loop
+    forced = find_pseudo_peripheral_multi(A, starts, heuristic=False)
+    ref = [find_pseudo_peripheral_reference(A, int(s)) for s in starts]
+    for a, f, r in zip(auto, forced, ref):
+        assert (a.vertex, a.nlevels, a.bfs_count) == (r.vertex, r.nlevels, r.bfs_count)
+        assert (f.vertex, f.nlevels, f.bfs_count) == (r.vertex, r.nlevels, r.bfs_count)
+
+
+def test_shallow_graph_routes_scalar_in_production(star7, monkeypatch):
+    # production routing (heuristic on) must not enter the lockstep sweep
+    # for a shallow graph — the probe gate runs, not just the density gate
+    import repro.core.bfs_multi as mod
+
+    def boom(*a, **k):
+        raise AssertionError("lockstep sweep entered despite shallow probe")
+
+    monkeypatch.setattr(mod, "bfs_levels_multi", boom)
+    starts = np.array([1, 4], dtype=np.int64)
+    out = mod.find_pseudo_peripheral_multi(star7, starts)
+    ref = [find_pseudo_peripheral_reference(star7, int(s)) for s in starts]
+    for a, r in zip(out, ref):
+        assert (a.vertex, a.nlevels, a.bfs_count) == (r.vertex, r.nlevels, r.bfs_count)

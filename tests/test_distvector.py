@@ -95,3 +95,18 @@ def test_sparse_copy_independent(ctx):
     owner = ctx.grid.vector_owner(12, 3)
     c.values[owner][0] = 9.0
     assert d.values[owner][0] == 1.0
+
+
+def test_sparse_per_rank_shape_mismatch_rejected(ctx):
+    # compensating per-rank length mismatches must not pair values with
+    # the wrong rank's indices
+    offs = ctx.grid.vector_offsets(16)
+    idx = [
+        np.array([offs[0], offs[0] + 1], dtype=np.int64),
+        np.array([offs[1]], dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    ]
+    vals = [np.ones(1), np.ones(2), np.empty(0), np.empty(0)]  # totals match
+    with pytest.raises(ValueError, match="mismatch"):
+        DistSparseVector(ctx, 16, idx, vals)

@@ -1,0 +1,59 @@
+"""Driver-overhead guardrails: the 4096-core axis must stay reachable.
+
+The rank-vectorized engine's contract is that simulated supersteps cost
+O(1) Python regardless of the rank count.  These tests run a flat-MPI
+1024-core Fig. 6 point inside a generous wall-clock budget — a per-rank
+O(p) driver loop reintroduced anywhere in the superstep path blows the
+budget by an order of magnitude (the pre-PR3 driver took ~90 s for 256
+ranks on this matrix; 1024 ranks were out of reach) — plus cheap shape
+checks on the driver-overhead experiment plumbing.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import measure_driver_overhead, run_driver_overhead
+from repro.bench.sweep import strong_scaling_rcm
+from repro.machine.params import edison
+from repro.matrices.suite import PAPER_SUITE
+
+#: Seconds allowed for the 1024-rank flat-MPI point (typical: ~2 s; the
+#: budget is ~20x headroom for slow CI machines, and still ~5x under
+#: what a per-rank driver loop would need).
+FIG6_1024_BUDGET_SECONDS = 45.0
+
+
+def test_fig6_1024_core_smoke_within_budget():
+    A = PAPER_SUITE["ldoor"].build(1.0)
+    t0 = time.perf_counter()
+    points = strong_scaling_rcm(
+        A, [1024], threads_per_process=1, machine=edison()
+    )
+    elapsed = time.perf_counter() - t0
+    assert len(points) == 1
+    assert points[0].config.grid.size == 1024  # genuinely 1024 ranks
+    assert points[0].total_seconds > 0
+    assert elapsed < FIG6_1024_BUDGET_SECONDS, (
+        f"1024-rank fig6 point took {elapsed:.1f}s — the rank-vectorized "
+        "driver has regressed toward per-rank Python loops"
+    )
+
+
+def test_measure_driver_overhead_shape_and_identity():
+    A = PAPER_SUITE["serena"].build(0.5)
+    rows = measure_driver_overhead(A, [4, 16], baseline_max_ranks=4)
+    assert [r["ranks"] for r in rows] == [4, 16]
+    assert rows[0]["speedup"] is not None  # baseline ran at 4 ranks
+    assert rows[1]["baseline_seconds"] is None  # capped above 4
+    for r in rows:
+        assert r["supersteps"] > 0
+        assert r["vectorized_ms_per_superstep"] > 0
+
+
+def test_driver_overhead_report_quick():
+    report = run_driver_overhead(scale=0.5, quick=True, names=["serena"])
+    assert "rank-vectorized" in report
+    assert "ms/superstep" in report
+    assert "x" in report  # at least one speedup cell
