@@ -20,7 +20,7 @@ def test_csc_ablation_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("ablation_csc_csr", report)
+    report = save_report("ablation_csc_csr", report)
     assert "CSR/CSC" in report
 
 
@@ -31,7 +31,7 @@ def test_balance_ablation_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("ablation_balance", report)
+    report = save_report("ablation_balance", report)
     assert "random permuted" in report
 
 
@@ -42,7 +42,7 @@ def test_semiring_ablation_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("ablation_semiring", report)
+    report = save_report("ablation_semiring", report)
     assert "bw (min parent)" in report
 
 

@@ -22,7 +22,7 @@ def test_sort_ablation_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("ablation_sort", report)
+    report = save_report("ablation_sort", report)
     assert "same ordering" in report
 
 

@@ -1,7 +1,5 @@
 """Extension experiments: cross-baseline quality and skyline Cholesky."""
 
-import numpy as np
-
 from benchmarks.conftest import save_report
 from repro.baselines import gps_ordering, sloan_ordering
 from repro.bench.harness import run_quality, run_skyline
@@ -19,7 +17,7 @@ def test_quality_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("extension_quality", report)
+    report = save_report("extension_quality", report)
     assert "GPS" in report
 
 
@@ -27,7 +25,7 @@ def test_skyline_report(benchmark):
     report = benchmark.pedantic(
         run_skyline, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
     )
-    save_report("extension_skyline", report)
+    report = save_report("extension_skyline", report)
     assert "factor flops" in report
 
 

@@ -20,7 +20,7 @@ def test_fig1_report(benchmark):
     report = benchmark.pedantic(
         run_fig1, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
     )
-    save_report("fig1_cg", report)
+    report = save_report("fig1_cg", report)
     assert "rcm speedup" in report
 
 

@@ -9,7 +9,7 @@ def test_fig3_report(benchmark):
     report = benchmark.pedantic(
         run_fig3, kwargs=dict(scale=BENCH_SCALE, quick=False), rounds=1, iterations=1
     )
-    save_report("fig3_suite", report)
+    report = save_report("fig3_suite", report)
     assert "pseudo-diam" in report
 
 

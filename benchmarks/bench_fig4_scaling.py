@@ -13,7 +13,7 @@ def test_fig4_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("fig4_scaling", report)
+    report = save_report("fig4_scaling", report)
     for col in ("periph spmspv", "order sort", "speedup"):
         assert col in report
 

@@ -17,7 +17,7 @@ def test_fig5_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("fig5_spmspv", report)
+    report = save_report("fig5_spmspv", report)
     assert "communication s" in report
 
 

@@ -10,7 +10,7 @@ def test_fig6_report(benchmark):
     report = benchmark.pedantic(
         run_fig6, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
     )
-    save_report("fig6_flat_mpi", report)
+    report = save_report("fig6_flat_mpi", report)
     assert "flat/hybrid" in report
 
 

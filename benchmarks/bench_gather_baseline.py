@@ -11,7 +11,7 @@ def test_gather_report(benchmark):
     report = benchmark.pedantic(
         run_gather, kwargs=dict(scale=0.8, quick=False), rounds=1, iterations=1
     )
-    save_report("gather_baseline", report)
+    report = save_report("gather_baseline", report)
     assert "pipeline / distributed" in report
     assert "paper-scale gather" in report
 

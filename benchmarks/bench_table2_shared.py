@@ -13,7 +13,7 @@ def test_table2_report(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report("table2_shared", report)
+    report = save_report("table2_shared", report)
     assert "SpMP 24t" in report
 
 

@@ -21,11 +21,18 @@ BENCH_SCALE = 0.8
 BENCH_MATRICES = ["nd24k", "ldoor", "serena", "li7nmax6"]
 
 
-def save_report(name: str, report: str) -> None:
+def save_report(name: str, report) -> str:
+    """Render (if structured), persist, print, and return the text report.
+
+    The harness returns :class:`repro.bench.ExperimentResult` objects;
+    plain strings are accepted too so ad-hoc reports keep working.
+    """
+    text = report.render() if hasattr(report, "render") else report
     REPORT_DIR.mkdir(exist_ok=True)
-    (REPORT_DIR / f"{name}.txt").write_text(report + "\n")
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
     print()
-    print(report)
+    print(text)
+    return text
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@ Run:  python examples/distributed_scaling.py [matrix-name] [scale]
 
 import sys
 
-from repro.bench import breakdown_from_ledger, format_table
+from repro.bench import format_table
 from repro.bench.sweep import strong_scaling_rcm
 from repro.machine import edison, paper_core_counts
 from repro.matrices import PAPER_SUITE

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.ordering import Ordering
-from ..machine.cost import CostLedger
 from ..sparse.csr import CSRMatrix
 from ..distributed.distmatrix import DistSparseMatrix
 from ..distributed.gather import gather_matrix_to_root, scatter_permutation

@@ -1,13 +1,24 @@
-"""Benchmark harness: experiment registry, sweeps, breakdowns, reporting."""
+"""Benchmark harness: experiment registry, structured results, sweeps,
+breakdowns, reporting, and the snapshot/history perf-gate subsystem."""
 
 from .breakdown import RCMBreakdown, breakdown_from_ledger
 from .figures import stacked_bars
 from .harness import EXPERIMENTS
-from .reporting import banner, format_kv, format_table
+from .reporting import banner, format_kv, format_table, render_result
+from .schema import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    ResultTable,
+    SchemaError,
+)
 from .sweep import ScalePoint, strong_scaling_rcm
 
 __all__ = [
     "EXPERIMENTS",
+    "SCHEMA_VERSION",
+    "ExperimentResult",
+    "ResultTable",
+    "SchemaError",
     "stacked_bars",
     "strong_scaling_rcm",
     "ScalePoint",
@@ -16,4 +27,5 @@ __all__ = [
     "format_table",
     "format_kv",
     "banner",
+    "render_result",
 ]

@@ -11,7 +11,8 @@ Run everything the paper reports::
 
     repro-bench all --quick
 
-Swap the kernel backend and emit machine-readable output::
+Swap the kernel backend and emit machine-readable output (every
+experiment serializes through the shared ``ExperimentResult`` schema)::
 
     repro-bench backend-ablation --quick --backend scipy --json
 
@@ -19,6 +20,11 @@ Run the distributed layer on real worker processes and calibrate the
 cost model against measured wall-clock::
 
     repro-bench calibration --engine processes --procs 4
+
+Record a perf snapshot and gate against a committed baseline::
+
+    repro-bench snapshot --quick
+    repro-bench compare BENCH.json BENCH_NEW.json --tolerance 2.5
 """
 
 from __future__ import annotations
@@ -42,7 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Regenerate the tables and figures of 'The Reverse "
             "Cuthill-McKee Algorithm in Distributed-Memory' (IPDPS 2017) "
-            "on the simulated distributed machine."
+            "on the simulated distributed machine.  Besides the "
+            "experiments below, two subcommands manage the perf history: "
+            "'repro-bench snapshot' writes a BENCH.json metric snapshot "
+            "and 'repro-bench compare OLD NEW' classifies regressions."
         ),
     )
     parser.add_argument(
@@ -96,8 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help=(
-            "emit a JSON document (experiment name, wall seconds, report "
-            "text) instead of plain-text reports"
+            "emit the structured ExperimentResult documents as one JSON "
+            "object instead of plain-text reports (uniform across every "
+            "experiment; tables and expected-shape notes included)"
         ),
     )
     return parser
@@ -105,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     from ..backends import use_backend
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # the history subcommands carry their own flags — dispatch before the
+    # experiment parser sees (and rejects) them
+    if argv[:1] == ["snapshot"]:
+        from .snapshot import main as snapshot_main
+
+        return snapshot_main(argv[1:])
+    if argv[:1] == ["compare"]:
+        from .history import main as compare_main
+
+        return compare_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -126,14 +148,19 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
             t0 = time.perf_counter()
-            report = fn(**kwargs)
+            result = fn(**kwargs)
             elapsed = time.perf_counter() - t0
+            result.params.setdefault("backend", args.backend)
             if args.json:
                 records.append(
-                    {"experiment": name, "seconds": elapsed, "report": report}
+                    {
+                        "experiment": name,
+                        "seconds": elapsed,
+                        "result": result.to_dict(),
+                    }
                 )
             else:
-                print(report)
+                print(result.render())
                 print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
     if args.json:
         print(

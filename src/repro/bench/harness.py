@@ -1,10 +1,14 @@
 """Experiment harness: one function per paper table/figure.
 
-Every experiment returns a plain-text report that prints the same rows
-or series the paper shows (see DESIGN.md's per-experiment index).  All
-experiments accept a ``scale`` knob (linear mesh-dimension multiplier of
-the suite surrogates) and a ``quick`` flag that trims the core-count
-axis for CI-speed runs.
+Every experiment builds and returns a structured
+:class:`~repro.bench.schema.ExperimentResult` — named tables of JSON
+scalars, the expected-shape notes, the machine/engine/scale params, and
+git provenance — which prints the same rows or series the paper shows
+(see DESIGN.md's per-experiment index) through the pure text view in
+:mod:`repro.bench.reporting`, and serializes uniformly under
+``repro-bench --json``.  All experiments accept a ``scale`` knob
+(linear mesh-dimension multiplier of the suite surrogates) and a
+``quick`` flag that trims the core-count axis for CI-speed runs.
 
 EXPERIMENTS.md records the expectations each report is checked against.
 """
@@ -19,7 +23,7 @@ import numpy as np
 from ..baselines.gather_rcm import gather_then_rcm
 from ..baselines.natural import natural_ordering
 from ..baselines.spmp import spmp_rcm
-from ..core.metrics import bandwidth, bandwidth_of_permutation
+from ..core.metrics import bandwidth_of_permutation
 from ..core.rcm_serial import rcm_serial
 from ..distributed.context import DistContext
 from ..distributed.distmatrix import DistSparseMatrix
@@ -30,9 +34,9 @@ from ..machine.threading_model import (
     hybrid_configs_for_cores,
     paper_core_counts,
 )
-from ..matrices.suite import PAPER_SUITE, build_suite, thermal2_like
+from ..matrices.suite import PAPER_SUITE, thermal2_like
 from ..solvers.solve_model import model_cg_solve
-from .reporting import banner, format_table
+from .schema import ExperimentResult, ResultTable, experiment_result
 from .sweep import strong_scaling_rcm
 
 __all__ = [
@@ -67,6 +71,7 @@ def _calibrated_machine(name: str, A) -> "MachineParams":
     paper_nnz = PAPER_SUITE[name].paper.nnz
     return edison().scaled(A.nnz / paper_nnz)
 
+
 #: Matrices small enough for the full scaling sweep in quick mode.
 _QUICK_MATRICES = ["nd24k", "ldoor", "serena", "flan_1565"]
 
@@ -77,10 +82,21 @@ def _suite_names(quick: bool, names: list[str] | None) -> list[str]:
     return _QUICK_MATRICES if quick else list(PAPER_SUITE)
 
 
+def _params(scale: float, quick: bool, names, **extra) -> dict:
+    """The standard ``params`` block every experiment records."""
+    p: dict = {
+        "scale": scale,
+        "quick": quick,
+        "names": list(names) if names else None,
+    }
+    p.update(extra)
+    return p
+
+
 # ----------------------------------------------------------------------
 # Fig. 1 — CG + block Jacobi, natural vs RCM ordering
 # ----------------------------------------------------------------------
-def run_fig1(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_fig1(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     A = thermal2_like(scale * (0.6 if quick else 1.0))
     rcm = rcm_serial(A)
     nat = natural_ordering(A)
@@ -100,26 +116,30 @@ def run_fig1(scale: float = 1.0, quick: bool = False, names=None) -> str:
             ]
         )
     q = rcm.quality(A)
-    head = banner(
+    return experiment_result(
+        "fig1",
         "Fig. 1 — CG/block-Jacobi solve time, natural vs RCM ordering "
         f"(thermal2 surrogate: n={A.nrows}, nnz={A.nnz}, "
-        f"bw {q.bw_before} -> {q.bw_after}; paper: 1,226,000 -> 795)"
+        f"bw {q.bw_before} -> {q.bw_after}; paper: 1,226,000 -> 795)",
+        [
+            ResultTable(
+                ["cores", "nat iters", "nat seconds", "rcm iters", "rcm seconds", "rcm speedup"],
+                rows,
+            )
+        ],
+        notes=[
+            "Expected shape (paper): RCM is never slower, and its advantage "
+            "grows with core count."
+        ],
+        params=_params(scale, quick, names),
+        machine=edison(),
     )
-    table = format_table(
-        ["cores", "nat iters", "nat seconds", "rcm iters", "rcm seconds", "rcm speedup"],
-        rows,
-    )
-    note = (
-        "Expected shape (paper): RCM is never slower, and its advantage "
-        "grows with core count."
-    )
-    return "\n".join([head, table, note])
 
 
 # ----------------------------------------------------------------------
 # Fig. 3 — matrix suite structural table
 # ----------------------------------------------------------------------
-def run_fig3(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_fig3(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     rows = []
     for name in _suite_names(quick, names):
         entry = PAPER_SUITE[name]
@@ -139,28 +159,33 @@ def run_fig3(scale: float = 1.0, quick: bool = False, names=None) -> str:
                 entry.paper.pseudo_diameter,
             ]
         )
-    head = banner("Fig. 3 — suite structural info (surrogates vs paper)")
-    table = format_table(
+    return experiment_result(
+        "fig3",
+        "Fig. 3 — suite structural info (surrogates vs paper)",
         [
-            "matrix",
-            "n",
-            "nnz",
-            "bw pre",
-            "bw post",
-            "pseudo-diam",
-            "bw ratio",
-            "paper ratio",
-            "paper pd",
+            ResultTable(
+                [
+                    "matrix",
+                    "n",
+                    "nnz",
+                    "bw pre",
+                    "bw post",
+                    "pseudo-diam",
+                    "bw ratio",
+                    "paper ratio",
+                    "paper pd",
+                ],
+                rows,
+            )
         ],
-        rows,
+        params=_params(scale, quick, names),
     )
-    return "\n".join([head, table])
 
 
 # ----------------------------------------------------------------------
 # Table II — shared-memory SpMP vs distributed RCM on one node
 # ----------------------------------------------------------------------
-def run_table2(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_table2(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     rows = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
@@ -177,29 +202,36 @@ def run_table2(scale: float = 1.0, quick: bool = False, names=None) -> str:
             res = rcm_distributed(A, ctx=ctx, random_permute=0)
             dist_times.append(res.modeled_seconds)
         rows.append([name, sp_bw, our_bw] + sp_times + dist_times)
-    head = banner(
+    return experiment_result(
+        "table2",
         "Table II — SpMP-like shared-memory RCM vs distributed RCM "
-        "(single node; modeled seconds)"
-    )
-    table = format_table(
+        "(single node; modeled seconds)",
         [
-            "matrix",
-            "SpMP bw",
-            "our bw",
-            "SpMP 1t",
-            "SpMP 6t",
-            "SpMP 24t",
-            "dist 1c",
-            "dist 6c",
-            "dist 24c",
+            ResultTable(
+                [
+                    "matrix",
+                    "SpMP bw",
+                    "our bw",
+                    "SpMP 1t",
+                    "SpMP 6t",
+                    "SpMP 24t",
+                    "dist 1c",
+                    "dist 6c",
+                    "dist 24c",
+                ],
+                rows,
+            )
         ],
-        rows,
+        notes=[
+            "Expected shape (paper): SpMP is faster on one node (no "
+            "distribution overhead); bandwidth quality is comparable either way."
+        ],
+        params=_params(
+            scale, quick, names,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    note = (
-        "Expected shape (paper): SpMP is faster on one node (no "
-        "distribution overhead); bandwidth quality is comparable either way."
-    )
-    return "\n".join([head, table, note])
 
 
 # ----------------------------------------------------------------------
@@ -209,8 +241,18 @@ def _scaling_cores(quick: bool) -> list[int]:
     return [1, 6, 24, 54] if quick else paper_core_counts(1014)
 
 
-def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> str:
-    sections = [banner("Fig. 4 — distributed RCM strong scaling, runtime breakdown")]
+#: Fig. 4 legend order — the five stacked regions of the breakdown.
+_FIG4_SEGMENTS = [
+    "periph spmspv",
+    "periph other",
+    "order spmspv",
+    "order sort",
+    "order other",
+]
+
+
+def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
+    tables = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
         cores = _scaling_cores(quick)
@@ -233,50 +275,36 @@ def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> str:
                     f"{p.speedup_vs(base):.1f}x",
                 ]
             )
-        sections.append(
-            format_table(
-                [
-                    "cores",
-                    "periph spmspv",
-                    "periph other",
-                    "order spmspv",
-                    "order sort",
-                    "order other",
-                    "total s",
-                    "speedup",
-                ],
+        tables.append(
+            ResultTable(
+                ["cores"] + _FIG4_SEGMENTS + ["total s", "speedup"],
                 rows,
                 title=f"[{name}] n={A.nrows} nnz={A.nnz}",
+                stacked=list(_FIG4_SEGMENTS),
             )
         )
-        from .figures import stacked_bars
-
-        sections.append(
-            stacked_bars(
-                [p.cores for p in points],
-                [p.breakdown.as_row() for p in points],
-                [
-                    "peripheral spmspv",
-                    "peripheral other",
-                    "ordering spmspv",
-                    "ordering sort",
-                    "ordering other",
-                ],
-            )
-        )
-    sections.append(
-        "Expected shape (paper): scales to ~1K cores; SpMSpV dominates at low "
-        "concurrency, SORTPERM's alltoall latency grows at high concurrency; "
-        "low-diameter matrices scale best."
+    return experiment_result(
+        "fig4",
+        "Fig. 4 — distributed RCM strong scaling, runtime breakdown",
+        tables,
+        notes=[
+            "Expected shape (paper): scales to ~1K cores; SpMSpV dominates at low "
+            "concurrency, SORTPERM's alltoall latency grows at high concurrency; "
+            "low-diameter matrices scale best."
+        ],
+        params=_params(
+            scale, quick, names,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    return "\n\n".join(sections)
 
 
 # ----------------------------------------------------------------------
 # Fig. 5 — SpMSpV computation vs communication
 # ----------------------------------------------------------------------
-def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> str:
-    sections = [banner("Fig. 5 — SpMSpV computation vs communication split")]
+def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
+    tables = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
         cores = [c for c in _scaling_cores(quick) if c >= 6]
@@ -288,23 +316,32 @@ def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> str:
             if crossover is None and b.spmspv_comm > b.spmspv_compute:
                 crossover = p.cores
             rows.append([p.cores, b.spmspv_compute, b.spmspv_comm])
-        rows_title = f"[{name}]"
+        title = f"[{name}]"
         if crossover is not None:
-            rows_title += f" comm overtakes compute at ~{crossover} cores"
-        sections.append(
-            format_table(["cores", "computation s", "communication s"], rows, title=rows_title)
+            title += f" comm overtakes compute at ~{crossover} cores"
+        tables.append(
+            ResultTable(["cores", "computation s", "communication s"], rows, title=title)
         )
-    sections.append(
-        "Expected shape (paper): compute-bound at low concurrency; "
-        "communication overtakes earlier for high-diameter matrices."
+    return experiment_result(
+        "fig5",
+        "Fig. 5 — SpMSpV computation vs communication split",
+        tables,
+        notes=[
+            "Expected shape (paper): compute-bound at low concurrency; "
+            "communication overtakes earlier for high-diameter matrices."
+        ],
+        params=_params(
+            scale, quick, names,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    return "\n\n".join(sections)
 
 
 # ----------------------------------------------------------------------
 # Fig. 6 — flat MPI vs hybrid for ldoor
 # ----------------------------------------------------------------------
-def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     A = PAPER_SUITE["ldoor"].build(scale)
     # the full paper axis runs to 4096 cores: flat MPI at 4096 cores is
     # 4096 simulated ranks, which the rank-vectorized engine executes as
@@ -325,22 +362,27 @@ def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> str:
                 f"{f.total_seconds / max(h.total_seconds, 1e-300):.1f}x",
             ]
         )
-    head = banner("Fig. 6 — flat MPI vs hybrid (6 threads/process), ldoor surrogate")
-    table = format_table(
-        ["cores", "flat MPI s", "hybrid s", "flat/hybrid"], rows
+    return experiment_result(
+        "fig6",
+        "Fig. 6 — flat MPI vs hybrid (6 threads/process), ldoor surrogate",
+        [ResultTable(["cores", "flat MPI s", "hybrid s", "flat/hybrid"], rows)],
+        notes=[
+            "Expected shape (paper): flat MPI degrades at high core counts "
+            "(~5x slower at 4096 cores) because sqrt(p) grows 2.4x and the "
+            "alltoall latency term grows with it."
+        ],
+        params=_params(
+            scale, quick, names,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    note = (
-        "Expected shape (paper): flat MPI degrades at high core counts "
-        "(~5x slower at 4096 cores) because sqrt(p) grows 2.4x and the "
-        "alltoall latency term grows with it."
-    )
-    return "\n".join([head, table, note])
 
 
 # ----------------------------------------------------------------------
 # Section V.C — gather-to-root baseline
 # ----------------------------------------------------------------------
-def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     name = "nlpkkt240"
     A = PAPER_SUITE[name].build(scale)
     cores = 64 if quick else 1024
@@ -359,11 +401,6 @@ def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> str:
         ["distributed RCM total", dist.modeled_seconds],
         ["pipeline / distributed", g.total_seconds / max(dist.modeled_seconds, 1e-300)],
     ]
-    head = banner(
-        f"Section V.C — gather baseline vs distributed RCM "
-        f"({name} surrogate, {cores} cores)"
-    )
-    table = format_table(["phase", "seconds (surrogate scale)"], rows)
 
     # analytic check at the paper's own scale: shipping nlpkkt240's
     # structure (n = 78M, nnz = 760M) into one node on the unscaled
@@ -373,10 +410,8 @@ def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> str:
     paper = PAPER_SUITE[name].paper
     unscaled = edison()
     words = matrix_wire_words(paper.n, paper.nnz)
-    engine_cost = (
-        unscaled.alpha * (1024 - 1) + unscaled.beta_node * words
-    )
-    extra = format_table(
+    engine_cost = unscaled.alpha * (1024 - 1) + unscaled.beta_node * words
+    extra = ResultTable(
         ["quantity", "value"],
         [
             ["paper-scale gather volume (words)", words],
@@ -386,19 +421,31 @@ def run_gather(scale: float = 1.0, quick: bool = False, names=None) -> str:
         ],
         title="Paper-scale analytic check (unscaled Edison constants):",
     )
-    note = (
-        "Expected shape (paper): the gather step alone costs a multiple of "
-        "distributed RCM at scale, and the whole gather pipeline loses; the "
-        "paper-scale analytic line validates the machine model against the "
-        "paper's measured 9 s."
+    return experiment_result(
+        "gather",
+        f"Section V.C — gather baseline vs distributed RCM "
+        f"({name} surrogate, {cores} cores)",
+        [ResultTable(["phase", "seconds (surrogate scale)"], rows), extra],
+        notes=[
+            "Expected shape (paper): the gather step alone costs a multiple of "
+            "distributed RCM at scale, and the whole gather pipeline loses; the "
+            "paper-scale analytic line validates the machine model against the "
+            "paper's measured 9 s."
+        ],
+        params=_params(
+            scale, quick, names, cores=cores,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    return "\n".join([head, table, extra, note])
 
 
 # ----------------------------------------------------------------------
 # Ablations (DESIGN.md Section 5)
 # ----------------------------------------------------------------------
-def run_sort_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_sort_ablation(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     rows = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
@@ -423,33 +470,42 @@ def run_sort_ablation(scale: float = 1.0, quick: bool = False, names=None) -> st
         rows.append(
             [name, tb, ts, f"{ts / max(tb, 1e-300):.2f}x", same, tn, bw_sorted, bw_nosort]
         )
-    head = banner(
+    return experiment_result(
+        "sort-ablation",
         "Ablation — SORTPERM implementations: specialized bucket sort vs "
-        "general samplesort vs no sorting (paper Section IV.B + future work)"
-    )
-    table = format_table(
+        "general samplesort vs no sorting (paper Section IV.B + future work)",
         [
-            "matrix",
-            "bucket s",
-            "samplesort s",
-            "sample/bucket",
-            "same ordering",
-            "no-sort s",
-            "bw sorted",
-            "bw no-sort",
+            ResultTable(
+                [
+                    "matrix",
+                    "bucket s",
+                    "samplesort s",
+                    "sample/bucket",
+                    "same ordering",
+                    "no-sort s",
+                    "bw sorted",
+                    "bw no-sort",
+                ],
+                rows,
+            )
         ],
-        rows,
+        notes=[
+            "Expected shape (paper Section IV.B): the specialized bucket sort "
+            "beats general sorting; orderings are identical.  The no-sort "
+            "variant (paper future work) is cheaper still but gives up some "
+            "bandwidth quality."
+        ],
+        params=_params(
+            scale, quick, names,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    note = (
-        "Expected shape (paper Section IV.B): the specialized bucket sort "
-        "beats general sorting; orderings are identical.  The no-sort "
-        "variant (paper future work) is cheaper still but gives up some "
-        "bandwidth quality."
-    )
-    return "\n".join([head, table, note])
 
 
-def run_csc_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_csc_ablation(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     """CSC vs CSR SpMSpV kernels: measured wall time on real frontiers."""
     from ..semiring.semiring import SELECT2ND_MIN
     from ..semiring.spmspv import spmspv_csc, spmspv_csr
@@ -470,13 +526,16 @@ def run_csc_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str
             t_csr += t2 - t1
             assert y1 == y2
         rows.append([name, t_csc, t_csr, f"{t_csr / max(t_csc, 1e-300):.2f}x"])
-    head = banner("Ablation — CSC vs CSR local SpMSpV kernel (measured wall time)")
-    table = format_table(["matrix", "CSC s", "CSR s", "CSR/CSC"], rows)
-    note = (
-        "Expected shape (paper Section IV.A): CSC wins for very sparse "
-        "frontiers because it touches only the frontier's columns."
+    return experiment_result(
+        "csc-ablation",
+        "Ablation — CSC vs CSR local SpMSpV kernel (measured wall time)",
+        [ResultTable(["matrix", "CSC s", "CSR s", "CSR/CSC"], rows)],
+        notes=[
+            "Expected shape (paper Section IV.A): CSC wins for very sparse "
+            "frontiers because it touches only the frontier's columns."
+        ],
+        params=_params(scale, quick, names),
     )
-    return "\n".join([head, table, note])
 
 
 def best_of(repeats: int, fn, *args, **kwargs):
@@ -594,7 +653,7 @@ def measure_driver_overhead(
     Returns a list of dicts, one per rank count, with total driver
     seconds, driver milliseconds per SpMSpV superstep, and the
     baseline/vectorized speedup where both sides ran.  Shared by the
-    ``driver-overhead`` experiment and the BENCH_PR3 snapshot so both
+    ``driver-overhead`` experiment and the BENCH snapshot so both
     always measure the same thing.
     """
     m = (machine or edison()).with_threads(1)
@@ -639,7 +698,9 @@ def measure_driver_overhead(
     return rows
 
 
-def run_driver_overhead(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_driver_overhead(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     """Driver-overhead experiment: seconds of *Python* per superstep.
 
     The modeled machine charges the same ledger either way; what this
@@ -668,36 +729,46 @@ def run_driver_overhead(scale: float = 1.0, quick: bool = False, names=None) -> 
                 "-" if r["speedup"] is None else f"{r['speedup']:.1f}x",
             ]
         )
-    head = banner(
+    return experiment_result(
+        "driver-overhead",
         f"Driver overhead — rank-vectorized vs per-rank simulation driver "
-        f"({name} surrogate, flat MPI, wall-clock)"
-    )
-    table = format_table(
+        f"({name} surrogate, flat MPI, wall-clock)",
         [
-            "ranks",
-            "supersteps",
-            "vectorized s",
-            "vec ms/superstep",
-            "per-rank baseline s",
-            "speedup",
+            ResultTable(
+                [
+                    "ranks",
+                    "supersteps",
+                    "vectorized s",
+                    "vec ms/superstep",
+                    "per-rank baseline s",
+                    "speedup",
+                ],
+                table_rows,
+            )
         ],
-        table_rows,
+        notes=[
+            "Expected shape: the per-rank baseline grows linearly with the rank "
+            "count (a Python loop iteration per rank per superstep) while the "
+            "rank-vectorized driver stays near-flat, so the speedup grows with "
+            "p (>=5x from 256 ranks; the baseline is skipped beyond "
+            f"{baseline_cap} ranks where it would take hours).  Orderings are "
+            "asserted bit-identical between the two drivers at every point."
+        ],
+        params=_params(
+            scale, quick, names, baseline_max_ranks=baseline_cap,
+            machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+        ),
+        machine=edison(),
     )
-    note = (
-        "Expected shape: the per-rank baseline grows linearly with the rank "
-        "count (a Python loop iteration per rank per superstep) while the "
-        "rank-vectorized driver stays near-flat, so the speedup grows with "
-        "p (>=5x from 256 ranks; the baseline is skipped beyond "
-        f"{baseline_cap} ranks where it would take hours).  Orderings are "
-        "asserted bit-identical between the two drivers at every point."
-    )
-    return "\n".join([head, table, note])
 
 
-def run_backend_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_backend_ablation(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     """Kernel-backend ablation: numpy vs scipy SpMSpV, looped vs batched
     pseudo-peripheral finder (the PR's two hot-path levers)."""
     from ..backends import available_backends
+    from ..core.bfs_multi import batching_decision
 
     backends = available_backends()
     kernel_rows = []
@@ -720,8 +791,6 @@ def run_backend_ablation(scale: float = 1.0, quick: bool = False, names=None) ->
             np.int64
         )
         looped_s, batched_s, identical = measure_finder_batching(A, starts)
-        from ..core.bfs_multi import batching_decision
-
         decision = batching_decision(A, int(starts[0]))
         finder_rows.append(
             [
@@ -734,34 +803,38 @@ def run_backend_ablation(scale: float = 1.0, quick: bool = False, names=None) ->
                 decision.describe(),
             ]
         )
-    head = banner(
-        "Ablation — kernel backends and batched multi-source BFS "
-        f"(backends: {', '.join(backends)})"
-    )
-    kernel_table = format_table(
+    kernel_table = ResultTable(
         ["matrix"] + [f"{b} s" for b in backends] + ["numpy/best", "identical"],
         kernel_rows,
         title="SpMSpV (CSC) over one full BFS's frontiers:",
     )
-    finder_table = format_table(
+    finder_table = ResultTable(
         ["matrix", "starts", "looped s", "batched s", "speedup", "identical", "heuristic"],
         finder_rows,
         title="Pseudo-peripheral finder, looped vs batched lockstep:",
     )
-    note = (
-        "Expected shape: every backend returns identical frontiers and the "
-        "batched finder returns identical vertices — determinism survives "
-        "the kernel swap; the batched finder amortizes per-level sweep "
-        "overhead across starts, so its win grows with pseudo-diameter "
-        "and can dip below 1x on dense low-diameter graphs.  The "
-        "'heuristic' column records the frontier-density fallback's "
-        "decision (default production routing): batches on dense or "
-        "shallow graphs run the scalar loop instead."
+    return experiment_result(
+        "backend-ablation",
+        "Ablation — kernel backends and batched multi-source BFS "
+        f"(backends: {', '.join(backends)})",
+        [kernel_table, finder_table],
+        notes=[
+            "Expected shape: every backend returns identical frontiers and the "
+            "batched finder returns identical vertices — determinism survives "
+            "the kernel swap; the batched finder amortizes per-level sweep "
+            "overhead across starts, so its win grows with pseudo-diameter "
+            "and can dip below 1x on dense low-diameter graphs.  The "
+            "'heuristic' column records the frontier-density fallback's "
+            "decision (default production routing): batches on dense or "
+            "shallow graphs run the scalar loop instead."
+        ],
+        params=_params(scale, quick, names, backends=list(backends)),
     )
-    return "\n".join([head, kernel_table, finder_table, note])
 
 
-def run_balance_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_balance_ablation(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     """Random input permutation on/off: 2D block load balance."""
     from ..sparse.permute import random_symmetric_permutation
 
@@ -775,29 +848,32 @@ def run_balance_ablation(scale: float = 1.0, quick: bool = False, names=None) ->
         Ap, _ = random_symmetric_permutation(A, 0)
         imb_rand = DistSparseMatrix.from_csr(ctx, Ap).load_imbalance()
         rows.append([name, f"{imb_nat:.2f}", f"{imb_rand:.2f}"])
-    head = banner(
+    return experiment_result(
+        "balance-ablation",
         "Ablation — random symmetric permutation for load balance "
-        "(max/mean nnz per rank; 1.0 = perfect)"
+        "(max/mean nnz per rank; 1.0 = perfect)",
+        [ResultTable(["matrix", "natural order", "random permuted"], rows)],
+        notes=[
+            "Expected shape (paper Section IV.A): banded/natural orders "
+            "concentrate nnz near the diagonal blocks; random permutation "
+            "flattens the imbalance toward 1."
+        ],
+        params=_params(scale, quick, names),
+        machine=edison(),
     )
-    table = format_table(["matrix", "natural order", "random permuted"], rows)
-    note = (
-        "Expected shape (paper Section IV.A): banded/natural orders "
-        "concentrate nnz near the diagonal blocks; random permutation "
-        "flattens the imbalance toward 1."
-    )
-    return "\n".join([head, table, note])
 
 
-def run_semiring_ablation(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_semiring_ablation(
+    scale: float = 1.0, quick: bool = False, names=None
+) -> ExperimentResult:
     """(select2nd, min) vs (select2nd, max): determinism/quality effect."""
+    from ..core.rcm_algebraic import rcm_algebraic
     from ..semiring.semiring import SELECT2ND_MAX
 
     rows = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
         o_min = rcm_serial(A)
-        from ..core.rcm_algebraic import rcm_algebraic
-
         o_max = rcm_algebraic(A, sr=SELECT2ND_MAX)
         rows.append(
             [
@@ -806,21 +882,21 @@ def run_semiring_ablation(scale: float = 1.0, quick: bool = False, names=None) -
                 bandwidth_of_permutation(A, o_max.perm),
             ]
         )
-    head = banner(
+    return experiment_result(
+        "semiring-ablation",
         "Ablation — parent-selection semiring: (select2nd, min) vs "
-        "(select2nd, max) bandwidth"
+        "(select2nd, max) bandwidth",
+        [ResultTable(["matrix", "bw (min parent)", "bw (max parent)"], rows)],
+        notes=[
+            "The min-parent rule is the paper's deterministic choice; other "
+            "rules give valid but usually slightly different/worse orderings "
+            "(relevant to the paper's 'not sorting at all' future work)."
+        ],
+        params=_params(scale, quick, names),
     )
-    table = format_table(["matrix", "bw (min parent)", "bw (max parent)"], rows)
-    note = (
-        "The min-parent rule is the paper's deterministic choice; other "
-        "rules give valid but usually slightly different/worse orderings "
-        "(relevant to the paper's 'not sorting at all' future work)."
-    )
-    return "\n".join([head, table, note])
 
 
-
-def run_quality(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_quality(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     """Extension — ordering-quality comparison across all baselines."""
     from ..baselines.gps import gps_ordering
     from ..baselines.scipy_rcm import scipy_rcm
@@ -849,14 +925,17 @@ def run_quality(scale: float = 1.0, quick: bool = False, names=None) -> str:
                     profile_of_permutation(A, perm),
                 ]
             )
-    head = banner("Extension — bandwidth/profile across ordering algorithms")
-    table = format_table(["matrix", "algorithm", "bandwidth", "profile"], rows)
-    note = (
-        "Expected shape: all RCM variants land close together; Sloan/GPS "
-        "are competitive on profile; natural order is far worse on the "
-        "scrambled matrices and unbeatable on the pre-banded ones."
+    return experiment_result(
+        "quality",
+        "Extension — bandwidth/profile across ordering algorithms",
+        [ResultTable(["matrix", "algorithm", "bandwidth", "profile"], rows)],
+        notes=[
+            "Expected shape: all RCM variants land close together; Sloan/GPS "
+            "are competitive on profile; natural order is far worse on the "
+            "scrambled matrices and unbeatable on the pre-banded ones."
+        ],
+        params=_params(scale, quick, names),
     )
-    return "\n".join([head, table, note])
 
 
 def run_calibration(
@@ -865,7 +944,7 @@ def run_calibration(
     names=None,
     engine: str = "processes",
     procs: int | None = None,
-) -> str:
+) -> ExperimentResult:
     """Modeled-vs-measured calibration of the machine model (processes engine).
 
     Runs distributed RCM twice per suite matrix — once on the simulated
@@ -878,19 +957,15 @@ def run_calibration(
 
     See EXPERIMENTS.md ("Calibration") for how to read the ratios.
     """
-    from ..runtime.calibration import format_calibration
+    from ..runtime.calibration import calibration_rows
 
     if engine not in ("simulated", "processes"):
         raise ValueError(f"unknown engine {engine!r}")
     nworkers = procs if procs is not None else 4
     grid = ProcessGrid.fitting(nworkers)
     machine = edison()
-    sections = [
-        banner(
-            f"Calibration — modeled (Edison constants) vs measured wall-clock, "
-            f"{grid.pr}x{grid.pc} grid on {nworkers} worker processes"
-        )
-    ]
+    headers = ["phase", "modeled s", "measured s", "measured/modeled"]
+    tables = []
     # one pool for the whole sweep: per-matrix forking would both waste
     # startup time and bill cold-worker effects to the first supersteps
     # (rcm_distributed frees each matrix's worker-resident blocks itself)
@@ -905,10 +980,10 @@ def run_calibration(
             A = PAPER_SUITE[name].build(scale)
             sim = rcm_distributed(A, ctx=DistContext(grid, machine), random_permute=0)
             if engine == "simulated":
-                sections.append(
-                    format_calibration(
-                        sim.ledger,
-                        sim.ctx.measured,
+                tables.append(
+                    ResultTable(
+                        headers,
+                        calibration_rows(sim.ledger, sim.ctx.measured),
                         title=f"[{name}] simulated engine only (no measurements):",
                     )
                 )
@@ -919,10 +994,10 @@ def run_calibration(
                 raise AssertionError(
                     f"[{name}] processes engine diverged from the simulated oracle"
                 )
-            sections.append(
-                format_calibration(
-                    res.ledger,
-                    pctx.measured,
+            tables.append(
+                ResultTable(
+                    headers,
+                    calibration_rows(res.ledger, pctx.measured),
                     title=(
                         f"[{name}] n={A.nrows} nnz={A.nnz} — ordering bit-identical "
                         "to simulated engine: True (enforced)"
@@ -932,35 +1007,40 @@ def run_calibration(
     finally:
         if pool is not None:
             pool.close()
-    sections.append(
-        "Reading the table: a flat measured/modeled ratio across phases would "
-        "mean the alpha-beta-gamma model has the right *shape* for this "
-        "runtime; divergent ratios localize where the runtime and the model "
-        "disagree.  Expected shape at surrogate scale: the allreduce-bound "
-        "'other' phases track the model closest (a pipe round trip stands in "
-        "for alpha), 'sort' next, while the SpMSpV phases inflate the most — "
-        "each SpMSpV is several supersteps whose dispatch/staging floor "
-        "(the ':host' rows) has no counterpart in the model.  The gap closes "
-        "as matrices grow and per-superstep work amortizes the floor; see "
-        "EXPERIMENTS.md, 'Calibration'."
+    return experiment_result(
+        "calibration",
+        f"Calibration — modeled (Edison constants) vs measured wall-clock, "
+        f"{grid.pr}x{grid.pc} grid on {nworkers} worker processes",
+        tables,
+        notes=[
+            "Reading the table: a flat measured/modeled ratio across phases would "
+            "mean the alpha-beta-gamma model has the right *shape* for this "
+            "runtime; divergent ratios localize where the runtime and the model "
+            "disagree.  Expected shape at surrogate scale: the allreduce-bound "
+            "'other' phases track the model closest (a pipe round trip stands in "
+            "for alpha), 'sort' next, while the SpMSpV phases inflate the most — "
+            "each SpMSpV is several supersteps whose dispatch/staging floor "
+            "(the ':host' rows) has no counterpart in the model.  The gap closes "
+            "as matrices grow and per-superstep work amortizes the floor; see "
+            "EXPERIMENTS.md, 'Calibration'."
+        ],
+        params=_params(scale, quick, names, engine=engine, procs=nworkers),
+        machine=machine,
     )
-    return "\n\n".join(sections)
 
 
-def run_skyline(scale: float = 1.0, quick: bool = False, names=None) -> str:
+def run_skyline(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     """Extension — envelope Cholesky storage/flops under each ordering.
 
     Reproduces the paper's *motivating* claim (Introduction: profile
     reduction enables the simple skyline data structure in direct
     methods) with a real envelope factorization.
     """
-    import numpy as np
-
     from ..baselines.sloan import sloan_ordering
+    from ..matrices.stencil import stencil_2d
     from ..solvers.skyline import SkylineCholesky
     from ..solvers.solve_model import laplacian_like_values
     from ..sparse.permute import permute_symmetric, random_symmetric_permutation
-    from ..matrices.stencil import stencil_2d
 
     side = int(18 * scale) if quick else int(24 * scale)
     A, _ = random_symmetric_permutation(stencil_2d(side, side), seed=11)
@@ -974,20 +1054,21 @@ def run_skyline(scale: float = 1.0, quick: bool = False, names=None) -> str:
         spd = laplacian_like_values(permute_symmetric(A, perm))
         chol = SkylineCholesky(spd)
         rows.append([label, chol.storage, chol.flops])
-    head = banner(
+    return experiment_result(
+        "skyline",
         f"Extension — envelope (skyline) Cholesky cost by ordering "
-        f"(scrambled {side}x{side} mesh Laplacian)"
+        f"(scrambled {side}x{side} mesh Laplacian)",
+        [ResultTable(["ordering", "factor storage", "factor flops"], rows)],
+        notes=[
+            "Expected shape (paper Introduction): profile reduction collapses "
+            "skyline storage and factorization work by orders of magnitude."
+        ],
+        params=_params(scale, quick, names),
     )
-    table = format_table(["ordering", "factor storage", "factor flops"], rows)
-    note = (
-        "Expected shape (paper Introduction): profile reduction collapses "
-        "skyline storage and factorization work by orders of magnitude."
-    )
-    return "\n".join([head, table, note])
 
 
 #: Experiment registry for the CLI.
-EXPERIMENTS: dict[str, Callable[..., str]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": run_fig1,
     "fig3": run_fig3,
     "table2": run_table2,

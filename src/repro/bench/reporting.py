@@ -1,16 +1,19 @@
-"""Plain-text reporting: aligned tables and series for paper figures.
+"""Plain-text reporting: the pure view over structured results.
 
-The benchmark harness prints every reproduced table/figure as text so
-results live in the terminal and in ``bench_output.txt`` — no plotting
-dependency.  A figure becomes a table with one row per x-axis point and
-one column per series (plus stacked-breakdown columns for Fig. 4).
+The benchmark harness builds every reproduced table/figure as an
+:class:`~repro.bench.schema.ExperimentResult`; this module renders one
+as text so results live in the terminal and in ``bench_output.txt`` —
+no plotting dependency.  A figure becomes a table with one row per
+x-axis point and one column per series; tables that declare ``stacked``
+columns additionally render as the Fig. 4-style stacked bars.  Nothing
+here mutates or computes — rendering is a view, the data is the result.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_kv", "banner"]
+__all__ = ["format_table", "format_kv", "banner", "render_result"]
 
 
 def _fmt_cell(value) -> str:
@@ -56,3 +59,23 @@ def format_kv(pairs: dict[str, object], title: str | None = None) -> str:
 def banner(text: str) -> str:
     bar = "=" * max(len(text), 10)
     return f"{bar}\n{text}\n{bar}"
+
+
+def render_result(result) -> str:
+    """Render an :class:`~repro.bench.schema.ExperimentResult` as text.
+
+    Sections, in order: the banner, each table (with its optional
+    stacked-bar figure directly below), then the expected-shape notes.
+    """
+    from .figures import stacked_bars
+
+    sections = [banner(result.title)]
+    for table in result.tables:
+        sections.append(format_table(table.headers, table.rows, title=table.title))
+        if table.stacked:
+            labels = [row[0] for row in table.rows]
+            indices = [table.headers.index(h) for h in table.stacked]
+            stacks = [[float(row[i]) for i in indices] for row in table.rows]
+            sections.append(stacked_bars(labels, stacks, list(table.stacked)))
+    sections.extend(result.notes)
+    return "\n\n".join(sections)

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.ordering import Ordering
 from ..distributed.rcm import rcm_distributed
 from ..machine.params import MachineParams, edison

@@ -48,7 +48,9 @@ class CMValidationReport:
         )
 
 
-def validate_cm_structure(A: CSRMatrix, ordering: Ordering, *, reverse: bool = True) -> CMValidationReport:
+def validate_cm_structure(
+    A: CSRMatrix, ordering: Ordering, *, reverse: bool = True
+) -> CMValidationReport:
     """Check the CM certificates for ``ordering`` on ``A``.
 
     ``reverse=True`` (default) treats the ordering as *Reverse* CM and

@@ -22,7 +22,7 @@ import numpy as np
 from ..semiring.semiring import SELECT2ND_MIN, Semiring
 from .distmatrix import DistSparseMatrix
 from .distvector import DistDenseVector, DistSparseVector
-from .primitives import d_fill_values, d_nnz, d_read_dense, d_select, d_set_dense
+from .primitives import d_fill_values, d_nnz, d_select, d_set_dense
 from .spmspv import dist_spmspv
 
 __all__ = ["DistBFSResult", "dist_bfs"]

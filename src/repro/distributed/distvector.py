@@ -181,7 +181,9 @@ class DistSparseVector:
         return cls(ctx, x.n, x.indices.copy(), x.values.copy())
 
     @classmethod
-    def single(cls, ctx: DistContext, n: int, index: int, value: float = 0.0) -> "DistSparseVector":
+    def single(
+        cls, ctx: DistContext, n: int, index: int, value: float = 0.0
+    ) -> "DistSparseVector":
         return cls.from_sparse(ctx, SparseVector.single(n, index, value))
 
     # ------------------------------------------------------------------

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..machine.comm import WORD_BYTES
 from ..sparse.csr import CSRMatrix
 from .distmatrix import DistSparseMatrix
 

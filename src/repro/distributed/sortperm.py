@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .context import DistContext
 from .distvector import DistDenseVector, DistSparseVector
 
 __all__ = ["d_sortperm", "bucket_of_labels"]

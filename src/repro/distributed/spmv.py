@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .context import DistContext
 from .distmatrix import DistSparseMatrix
 from .distvector import DistDenseVector
 

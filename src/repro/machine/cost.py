@@ -19,7 +19,7 @@ for conservation tests and model-free analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["RegionCost", "CostLedger", "REGIONS"]
 

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from ..machine.cost import CostLedger
 
-__all__ = ["calibration_rows", "format_calibration"]
+__all__ = ["PHASES", "calibration_rows", "format_calibration"]
 
 #: Top-level phases of the RCM pipeline (Fig. 4 legend) plus totals.
-_PHASES = (
+#: Public: the BENCH snapshot iterates these to name its per-phase
+#: calibration metrics with exactly the strings the ledgers use.
+PHASES = (
     "peripheral:spmspv",
     "peripheral:other",
     "ordering:spmspv",
@@ -51,7 +53,7 @@ def calibration_rows(
     the grand total.
     """
     rows: list[list[object]] = []
-    for phase in _PHASES:
+    for phase in PHASES:
         mo = modeled.prefix(phase).total_seconds
         me = measured.prefix(phase).total_seconds
         rows.append([phase, mo, me, _ratio(me, mo)])

@@ -15,7 +15,7 @@ ufunc for the add so kernels can reduce without a Python-level loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -10,7 +10,7 @@ from repro.baselines import (
     spmp_rcm,
     spmp_runtime_model,
 )
-from repro.core import bandwidth, bandwidth_of_permutation, profile_of_permutation, rcm_serial
+from repro.core import bandwidth_of_permutation, profile_of_permutation, rcm_serial
 from repro.machine import edison
 from repro.matrices import stencil_2d
 from repro.sparse import is_permutation, random_symmetric_permutation

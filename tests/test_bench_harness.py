@@ -1,7 +1,6 @@
-"""Smoke tests of the experiment harness: every experiment runs and
-produces the expected headline shape at tiny scale."""
-
-import re
+"""Smoke tests of the experiment harness: every experiment runs,
+returns a structured ExperimentResult, and renders the expected
+headline shape at tiny scale."""
 
 import pytest
 
@@ -19,6 +18,7 @@ from repro.bench.harness import (
     run_sort_ablation,
     run_table2,
 )
+from repro.bench.schema import ExperimentResult
 
 TINY = dict(scale=0.45, quick=True, names=["ldoor", "serena"])
 
@@ -44,63 +44,84 @@ def test_registry_complete():
     }
 
 
-def test_fig1_report_shape():
-    out = run_fig1(scale=0.5, quick=True)
-    assert "Fig. 1" in out
-    # last speedup column should exceed the first (advantage grows)
-    speedups = [
-        float(line.split("|")[-1]) for line in out.splitlines() if line.strip().startswith(("1 ", "4 ", "16 ", "64 "))
-    ]
+def test_fig1_result_shape():
+    res = run_fig1(scale=0.5, quick=True)
+    assert isinstance(res, ExperimentResult)
+    assert res.name == "fig1"
+    assert "Fig. 1" in res.title
+    # last speedup should exceed the first (advantage grows with cores)
+    speedups = res.table().column("rcm speedup")
     assert speedups[-1] >= speedups[0]
+    assert "Fig. 1" in res.render()
 
 
 def test_fig3_contains_paper_columns():
-    out = run_fig3(**TINY)
-    assert "paper ratio" in out and "ldoor" in out
+    res = run_fig3(**TINY)
+    assert "paper ratio" in res.table().headers
+    assert "ldoor" in res.table().column("matrix")
 
 
 def test_table2_runs():
-    out = run_table2(**TINY)
+    out = run_table2(**TINY).render()
     assert "SpMP" in out and "dist" in out
 
 
 def test_fig4_reports_five_regions():
-    out = run_fig4(**TINY)
+    res = run_fig4(**TINY)
     for col in ("periph spmspv", "periph other", "order spmspv", "order sort", "order other"):
-        assert col in out
+        assert col in res.tables[0].headers
+    # the stacked-bar figure is declared on (and derived from) the table
+    assert res.tables[0].stacked == [
+        "periph spmspv",
+        "periph other",
+        "order spmspv",
+        "order sort",
+        "order other",
+    ]
+    assert "legend:" in res.render()
 
 
 def test_fig5_reports_split():
-    out = run_fig5(**TINY)
-    assert "computation s" in out and "communication s" in out
+    res = run_fig5(**TINY)
+    assert res.tables[0].headers == ["cores", "computation s", "communication s"]
 
 
 def test_fig6_flat_vs_hybrid():
-    out = run_fig6(scale=0.45, quick=True)
+    out = run_fig6(scale=0.45, quick=True).render()
     assert "flat MPI" in out and "hybrid" in out
 
 
-def test_gather_report():
-    out = run_gather(scale=0.45, quick=True)
-    assert "gather pipeline total" in out
-    assert "distributed RCM total" in out
+def test_gather_result():
+    res = run_gather(scale=0.45, quick=True)
+    phases = res.table().column("phase")
+    assert "gather pipeline total" in phases
+    assert "distributed RCM total" in phases
+    assert len(res.tables) == 2  # surrogate table + paper-scale check
 
 
 def test_sort_ablation_identical_orderings():
-    out = run_sort_ablation(scale=0.45, quick=True, names=["serena"])
-    assert "True" in out  # same-ordering column
+    res = run_sort_ablation(scale=0.45, quick=True, names=["serena"])
+    assert res.table().column("same ordering") == [True]
 
 
 def test_csc_ablation_runs():
-    out = run_csc_ablation(scale=0.45, quick=True, names=["serena"])
+    out = run_csc_ablation(scale=0.45, quick=True, names=["serena"]).render()
     assert "CSR/CSC" in out
 
 
 def test_backend_ablation_runs():
     from repro.bench.harness import run_backend_ablation
 
-    out = run_backend_ablation(scale=0.45, quick=True, names=["serena"])
+    out = run_backend_ablation(scale=0.45, quick=True, names=["serena"]).render()
     assert "batched" in out and "True" in out
+
+
+def test_results_record_params_and_provenance():
+    res = run_fig3(scale=0.45, quick=True, names=["serena"])
+    assert res.params["scale"] == 0.45
+    assert res.params["quick"] is True
+    assert res.params["names"] == ["serena"]
+    assert "git" in res.environment and "commit" in res.environment["git"]
 
 
 def test_cli_json_and_backend_flags(capsys):
@@ -126,21 +147,28 @@ def test_cli_json_and_backend_flags(capsys):
     )
     doc = json.loads(capsys.readouterr().out)
     assert doc["backend"] == "numpy"
-    assert doc["experiments"][0]["experiment"] == "fig3"
-    assert "Fig. 3" in doc["experiments"][0]["report"]
+    entry = doc["experiments"][0]
+    assert entry["experiment"] == "fig3"
+    # the uniform ExperimentResult document, not ad-hoc per-command JSON
+    result = ExperimentResult.from_dict(entry["result"])
+    assert result.name == "fig3"
+    assert "Fig. 3" in result.title
+    assert result.params["backend"] == "numpy"
 
 
 def test_calibration_simulated_mode_reports_model_only():
     from repro.bench.harness import run_calibration
 
-    out = run_calibration(scale=0.45, quick=True, names=["serena"], engine="simulated", procs=2)
+    out = run_calibration(
+        scale=0.45, quick=True, names=["serena"], engine="simulated", procs=2
+    ).render()
     assert "modeled s" in out and "no measurements" in out
 
 
 def test_calibration_processes_mode_enforces_identical_orderings():
     from repro.bench.harness import run_calibration
 
-    out = run_calibration(scale=0.45, quick=True, names=["serena"], procs=2)
+    out = run_calibration(scale=0.45, quick=True, names=["serena"], procs=2).render()
     assert "bit-identical to simulated engine: True (enforced)" in out
     assert "measured/modeled" in out
 
@@ -172,17 +200,18 @@ def test_cli_engine_flag_reaches_calibration(capsys):
 def test_cli_warns_when_engine_flag_is_ignored(capsys):
     from repro.bench.cli import main
 
-    assert main(["fig3", "--quick", "--scale", "0.45", "--matrices", "serena", "--engine", "processes"]) == 0
+    argv = ["fig3", "--quick", "--scale", "0.45", "--matrices", "serena"]
+    assert main(argv + ["--engine", "processes"]) == 0
     assert "ignored" in capsys.readouterr().err
 
 
 def test_balance_ablation_runs():
-    out = run_balance_ablation(scale=0.45, quick=True, names=["serena"])
+    out = run_balance_ablation(scale=0.45, quick=True, names=["serena"]).render()
     assert "random permuted" in out
 
 
 def test_semiring_ablation_runs():
-    out = run_semiring_ablation(scale=0.45, quick=True, names=["serena"])
+    out = run_semiring_ablation(scale=0.45, quick=True, names=["serena"]).render()
     assert "bw (min parent)" in out
 
 
@@ -202,12 +231,10 @@ def test_cli_rejects_unknown_experiment():
 def test_skyline_extension_runs():
     from repro.bench.harness import run_skyline
 
-    out = run_skyline(scale=0.8, quick=True)
+    out = run_skyline(scale=0.8, quick=True).render()
     assert "factor storage" in out
 
 
 def test_quality_extension_runs():
-    from repro.bench.harness import run_quality
-
-    out = run_quality(scale=0.5, quick=True, names=["serena"])
+    out = EXPERIMENTS["quality"](scale=0.5, quick=True, names=["serena"]).render()
     assert "GPS" in out and "Sloan" in out

@@ -105,7 +105,9 @@ def test_collectives_bit_identical(pool):
     )
 
     vals = [3.0, 1.0, 2.0, 1.0]
-    assert sim.engine.allreduce_scalar(vals, np.sum, "r") == proc.engine.allreduce_scalar(vals, np.sum, "r")
+    assert sim.engine.allreduce_scalar(vals, np.sum, "r") == proc.engine.allreduce_scalar(
+        vals, np.sum, "r"
+    )
     pairs = [(2.0, 9.0), (1.0, 5.0), (1.0, 3.0)]
     assert sim.engine.allreduce_lexmin(pairs, "r") == proc.engine.allreduce_lexmin(pairs, "r")
     arrs = [np.arange(6, dtype=np.float64) * k for k in range(3)]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+from repro.sparse import CSCMatrix, CSRMatrix
 
 
 @pytest.fixture

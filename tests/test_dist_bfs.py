@@ -6,7 +6,6 @@ import pytest
 from repro.core import bfs_levels, bfs_parents
 from repro.distributed import DistContext, DistSparseMatrix, dist_bfs
 from repro.machine import ProcessGrid, zero_latency
-from repro.matrices import stencil_2d
 from tests.conftest import csr_from_edges
 
 GRIDS = [1, 4, 9]

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import rcm_serial
 from repro.distributed import DistContext, DistSparseMatrix, rcm_distributed
 from repro.distributed.permute import permute_distributed
 from repro.machine import MachineParams, ProcessGrid, zero_latency

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.distributed import DistContext, DistSparseMatrix, DistSparseVector, dist_spmspv
-from repro.machine import CostLedger, MachineParams, ProcessGrid, zero_latency
+from repro.machine import MachineParams, ProcessGrid, zero_latency
 from repro.semiring import PLUS_TIMES, SELECT2ND_MIN, spmspv_csc
 from repro.sparse import CSCMatrix, SparseVector
 

@@ -104,7 +104,6 @@ def test_rcm_ordering_reduces_cg_comm_volume():
     )
     ctx2 = DistContext(ProcessGrid(2, 2), zero_latency())
     # permuted rhs for the permuted system
-    from repro.sparse import invert_permutation
 
     bp = b[ordering.perm]
     r2 = dist_cg(

@@ -7,7 +7,7 @@ from repro.core import rcm_serial
 from repro.machine import MachineParams
 from repro.matrices import stencil_2d
 from repro.solvers import analyze_spmv_communication, spmv_iteration_time
-from repro.sparse import CSRMatrix, permute_symmetric, random_symmetric_permutation
+from repro.sparse import permute_symmetric, random_symmetric_permutation
 
 
 def test_single_rank_no_ghosts(grid8x8):

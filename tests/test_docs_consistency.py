@@ -3,7 +3,6 @@
 import pathlib
 import re
 
-import pytest
 
 ROOT = pathlib.Path(__file__).parent.parent
 
@@ -71,13 +70,14 @@ def test_experiments_md_covers_every_table_and_figure():
 
 
 def test_readme_commands_exist():
-    """Every `repro-bench X` line in README names a real experiment."""
+    """Every `repro-bench X` line in README names a real experiment or
+    one of the history subcommands."""
     from repro.bench.harness import EXPERIMENTS
 
     readme = (ROOT / "README.md").read_text()
     for m in re.finditer(r"repro-bench ([a-z0-9-]+)", readme):
         name = m.group(1)
-        assert name in EXPERIMENTS or name == "all", name
+        assert name in EXPERIMENTS or name in ("all", "snapshot", "compare"), name
 
 
 def test_readme_documents_the_process_engine():

@@ -11,9 +11,6 @@ checks on the driver-overhead experiment plumbing.
 
 import time
 
-import numpy as np
-import pytest
-
 from repro.bench.harness import measure_driver_overhead, run_driver_overhead
 from repro.bench.sweep import strong_scaling_rcm
 from repro.machine.params import edison
@@ -53,7 +50,10 @@ def test_measure_driver_overhead_shape_and_identity():
 
 
 def test_driver_overhead_report_quick():
-    report = run_driver_overhead(scale=0.5, quick=True, names=["serena"])
+    result = run_driver_overhead(scale=0.5, quick=True, names=["serena"])
+    report = result.render()
     assert "rank-vectorized" in report
     assert "ms/superstep" in report
     assert "x" in report  # at least one speedup cell
+    # the structured result carries the same data --json serializes
+    assert result.table().column("ranks") == [16, 64]

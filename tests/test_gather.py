@@ -1,7 +1,6 @@
 """Gather-to-root baseline tests (paper Section V.C)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import gather_then_rcm
 from repro.distributed import (

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.gps import gps_ordering
 from repro.core import bandwidth_of_permutation, rcm_serial
-from repro.matrices import path_graph, stencil_2d
+from repro.matrices import stencil_2d
 from repro.sparse import is_permutation, random_symmetric_permutation
 
 

@@ -1,12 +1,11 @@
 """Rooted level structure tests (paper Section II.A definitions)."""
 
 import numpy as np
-import pytest
 
 from repro.core import find_pseudo_peripheral, rcm_serial
 from repro.core.level_structure import rooted_level_structure
 from repro.core.metrics import bandwidth_of_permutation
-from repro.matrices import path_graph, stencil_2d
+from repro.matrices import stencil_2d
 from tests.conftest import csr_from_edges
 
 

@@ -6,7 +6,6 @@ bucket-sort agreement with the serial sort, and metric consistency.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Pseudo-peripheral vertex finder tests (paper Algorithms 2/4)."""
 
 import numpy as np
-import pytest
 
 from repro.core import bfs_levels, find_pseudo_peripheral
 from repro.core.metrics import eccentricity_estimate

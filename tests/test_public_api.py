@@ -27,6 +27,8 @@ def test_rcm_serial_default(grid8x8):
 def test_rcm_distributed_entry(grid8x8):
     o = rcm(grid8x8, nprocs=4)
     assert np.array_equal(o.perm, rcm_serial(grid8x8).perm)
+    # the low-level entry point is part of the quickstart surface too
+    assert rcm_distributed is repro.rcm_distributed
 
 
 def test_rcm_kwargs_forwarded(grid8x8):

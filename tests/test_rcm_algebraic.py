@@ -19,7 +19,6 @@ from repro.core.primitives import (
     sortperm,
 )
 from repro.sparse import CSCMatrix, SparseVector, is_permutation
-from tests.conftest import csr_from_edges
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """Ordering-quality tests: parity with scipy, suite invariants."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import scipy_rcm

@@ -8,7 +8,6 @@ from repro.core import rcm_serial
 from repro.matrices import thermal2_like
 from repro.solvers import model_cg_solve
 from repro.solvers.solve_model import laplacian_like_values
-from repro.matrices import stencil_2d
 
 
 @pytest.fixture(scope="module")

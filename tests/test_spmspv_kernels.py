@@ -13,7 +13,6 @@ from repro.semiring import (
     spmv_dense,
 )
 from repro.sparse import CSCMatrix, CSRMatrix, SparseVector
-from tests.conftest import csr_from_edges
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """ASCII spy plot tests."""
 
-import numpy as np
-
 from repro.sparse import CSRMatrix, COOMatrix
 from repro.sparse.spy import spy
 from repro.matrices import path_graph, stencil_2d

@@ -10,7 +10,6 @@ from repro.sparse import (
     strip_to_pattern,
     symmetrize,
 )
-from tests.conftest import csr_from_edges
 
 
 def test_symmetric_graph_detected(path5):

@@ -1,7 +1,6 @@
 """CM structural-certificate validation tests."""
 
 import numpy as np
-import pytest
 
 from repro.core import Ordering, cm_serial, rcm_serial
 from repro.core.validation import validate_cm_structure
@@ -9,7 +8,6 @@ from repro.distributed import rcm_distributed
 from repro.machine import zero_latency
 from repro.matrices import stencil_2d
 from repro.sparse import random_symmetric_permutation
-from tests.conftest import csr_from_edges
 
 
 def test_rcm_passes_all_checks(grid8x8):
