@@ -19,6 +19,12 @@ Backends must be *result-compatible* with the pure-numpy reference:
   bit-identical payloads.  For floating ``(+, *)`` reductions payloads
   agree to round-off.
 * ``expand_frontier`` returns exactly the same sorted unique vertex set.
+* ``spmspv_pull`` / ``expand_frontier_pull`` — the bottom-up kernels of
+  direction-optimized BFS (:mod:`repro.core.direction`) — must return
+  results bit-identical to their push counterparts on the same inputs
+  (pull with the unvisited mask equals masked push, entry for entry).
+  The base class ships reference implementations, so existing backends
+  stay valid; backends override them to exploit native row slicing.
 
 This is what keeps RCM orderings identical across backends — the paper's
 determinism guarantee must survive a backend swap, and the cross-backend
@@ -65,6 +71,23 @@ class KernelBackend(abc.ABC):
     ) -> SparseVector:
         """``y = A x`` over semiring ``sr`` via a row-major kernel."""
 
+    def spmspv_pull(
+        self,
+        A: CSRMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        """Masked pull ``y = A x``: scan the rows selected by ``mask``.
+
+        Work is ``sum_{r : mask[r]} nnz(A(r, :))`` — the bottom-up side
+        of direction-optimized BFS.  Not abstract: the default delegates
+        to the numpy reference so pre-existing backends keep working.
+        """
+        from ..semiring.spmspv import spmspv_pull_numpy
+
+        return spmspv_pull_numpy(A, x, sr, mask)
+
     @abc.abstractmethod
     def spmv_dense(self, A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
         """Dense-vector semiring product ``y = A x``."""
@@ -82,6 +105,25 @@ class KernelBackend(abc.ABC):
         returned vertices all satisfy it.  This is the structural core of
         one level-synchronous BFS step.
         """
+
+    def expand_frontier_pull(
+        self,
+        A: CSRMatrix,
+        frontier: np.ndarray,
+        unvisited: np.ndarray,
+    ) -> np.ndarray:
+        """Bottom-up frontier expansion: identical result, pull-side work.
+
+        Scans the unvisited vertices' adjacency for a frontier neighbor
+        instead of expanding the frontier, so the work is
+        ``sum_{v unvisited} deg(v)`` — the cheap side when the frontier
+        is dense.  Must return exactly :meth:`expand_frontier`'s sorted
+        unique vertex set.  The default delegates to the numpy
+        reference.
+        """
+        from .numpy_backend import expand_frontier_pull_numpy
+
+        return expand_frontier_pull_numpy(A, frontier, unvisited)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<KernelBackend {self.name!r}>"

@@ -13,6 +13,7 @@ from ..semiring.semiring import Semiring
 from ..semiring.spmspv import (
     spmspv_csc_numpy,
     spmspv_csr_numpy,
+    spmspv_pull_numpy,
     spmv_dense_numpy,
 )
 from ..sparse.csc import CSCMatrix
@@ -20,7 +21,34 @@ from ..sparse.csr import CSRMatrix
 from ..sparse.spvector import SparseVector
 from .base import KernelBackend
 
-__all__ = ["NumpyBackend"]
+__all__ = ["NumpyBackend", "expand_frontier_pull_numpy"]
+
+
+def expand_frontier_pull_numpy(
+    A: CSRMatrix, frontier: np.ndarray, unvisited: np.ndarray
+) -> np.ndarray:
+    """Reference bottom-up expansion: unvisited rows with a frontier edge.
+
+    One ragged gather over the unvisited vertices' adjacency plus a
+    frontier-membership filter; ``np.unique`` over the surviving row ids
+    reproduces the push kernel's sorted unique output exactly.
+    """
+    from ..core.bfs import gather_rows
+
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return np.empty(0, dtype=np.int64)
+    cand = np.flatnonzero(unvisited).astype(np.int64)
+    if cand.size == 0:
+        return np.empty(0, dtype=np.int64)
+    in_frontier = np.zeros(A.ncols, dtype=bool)
+    in_frontier[frontier] = True
+    lens = A.indptr[cand + 1] - A.indptr[cand]
+    neigh = gather_rows(A, cand)
+    if neigh.size == 0:
+        return np.empty(0, dtype=np.int64)
+    rows = np.repeat(cand, lens)
+    return np.unique(rows[in_frontier[neigh]])
 
 
 class NumpyBackend(KernelBackend):
@@ -46,6 +74,15 @@ class NumpyBackend(KernelBackend):
     ) -> SparseVector:
         return spmspv_csr_numpy(A, x, sr, mask)
 
+    def spmspv_pull(
+        self,
+        A: CSRMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        return spmspv_pull_numpy(A, x, sr, mask)
+
     def spmv_dense(self, A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
         return spmv_dense_numpy(A, x, sr)
 
@@ -64,3 +101,11 @@ class NumpyBackend(KernelBackend):
         # dominated by backward edges on dense graphs
         neigh = neigh[unvisited[neigh]]
         return np.unique(neigh)
+
+    def expand_frontier_pull(
+        self,
+        A: CSRMatrix,
+        frontier: np.ndarray,
+        unvisited: np.ndarray,
+    ) -> np.ndarray:
+        return expand_frontier_pull_numpy(A, frontier, unvisited)

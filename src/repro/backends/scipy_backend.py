@@ -103,6 +103,45 @@ class ScipyBackend(KernelBackend):
         # reduction); delegate to the numpy dense-scan reference
         return spmspv_csr_numpy(A, x, sr, mask)
 
+    def spmspv_pull(
+        self,
+        A: CSRMatrix,
+        x: SparseVector,
+        sr: Semiring,
+        mask: np.ndarray | None = None,
+    ) -> SparseVector:
+        if x.n != A.ncols:
+            raise ValueError("dimension mismatch between matrix and vector")
+        if x.nnz == 0:
+            return SparseVector.empty(A.nrows)
+        rows_cand = (
+            np.flatnonzero(np.asarray(mask, dtype=bool))
+            if mask is not None
+            else np.arange(A.nrows, dtype=np.int64)
+        )
+        if rows_cand.size == 0:
+            return SparseVector.empty(A.nrows)
+        # compiled row slice: the candidate rows' columns/values land in
+        # one CSR submatrix with per-row patterns kept ascending — the
+        # same candidate order as the numpy reference
+        sub = _scipy_csr(A)[rows_cand]
+        cols = sub.indices.astype(np.int64, copy=False)
+        if cols.size == 0:
+            return SparseVector.empty(A.nrows)
+        present = np.zeros(A.ncols, dtype=bool)
+        present[x.indices] = True
+        hits = present[cols]
+        if not hits.any():
+            return SparseVector.empty(A.nrows)
+        rows = np.repeat(rows_cand, np.diff(sub.indptr))[hits]
+        cols = cols[hits]
+        avals = np.asarray(sub.data, dtype=np.float64)[hits]
+        x_dense = np.full(A.ncols, np.nan)
+        x_dense[x.indices] = x.values
+        products = np.asarray(sr.multiply(avals, x_dense[cols]), dtype=np.float64)
+        uniq_rows, reduced = _group_reduce(rows, products, sr)
+        return SparseVector(A.nrows, uniq_rows, reduced)
+
     def spmv_dense(self, A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (A.ncols,):
@@ -134,3 +173,24 @@ class ScipyBackend(KernelBackend):
             return np.empty(0, dtype=np.int64)
         neigh = np.unique(sub.indices.astype(np.int64, copy=False))
         return neigh[unvisited[neigh]]
+
+    def expand_frontier_pull(
+        self,
+        A: CSRMatrix,
+        frontier: np.ndarray,
+        unvisited: np.ndarray,
+    ) -> np.ndarray:
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            return np.empty(0, dtype=np.int64)
+        cand = np.flatnonzero(unvisited).astype(np.int64)
+        if cand.size == 0:
+            return np.empty(0, dtype=np.int64)
+        in_frontier = np.zeros(A.ncols, dtype=bool)
+        in_frontier[frontier] = True
+        sub = _scipy_csr(A)[cand]
+        cols = sub.indices.astype(np.int64, copy=False)
+        if cols.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = np.repeat(cand, np.diff(sub.indptr))
+        return np.unique(rows[in_frontier[cols]])

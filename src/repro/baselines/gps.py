@@ -128,8 +128,18 @@ def gps_ordering(A: CSRMatrix) -> Ordering:
         members = np.flatnonzero(ls >= 0).astype(np.int64)
         last = np.flatnonzero(ls == nlv - 1)
         e = int(last[np.argmin(degrees[last])])
-        le, _ = bfs_levels(A, e)
-        combined = _combined_levels(A, members, ls, le, nlv - 1)
+        le, nlv_e = bfs_levels(A, e)
+        if nlv_e == nlv:
+            combined = _combined_levels(A, members, ls, le, nlv - 1)
+        else:
+            # degenerate endpoint pair: e's structure is deeper than s's
+            # (s is only PSEUDO-peripheral, so ecc(e) > ecc(s) can
+            # happen), and the reverse coordinate ``length - le`` would
+            # leave the level range.  GPS's merge assumes equal depths;
+            # fall back to the rooted structure L(s), which is always a
+            # valid leveling of the component.
+            combined = np.full(n, -1, dtype=np.int64)
+            combined[members] = ls[members]
         members_by_level = [
             np.flatnonzero(combined == d).astype(np.int64) for d in range(nlv)
         ]

@@ -351,8 +351,29 @@ def main(argv: list[str] | None = None) -> int:
             "and exit non-zero on regression."
         ),
     )
-    parser.add_argument("old", metavar="OLD", help="baseline snapshot (e.g. BENCH.json)")
-    parser.add_argument("new", metavar="NEW", help="fresh snapshot to judge")
+    parser.add_argument(
+        "old",
+        metavar="OLD",
+        nargs="?",
+        default=None,
+        help="baseline snapshot (e.g. BENCH.json); optional with --trend",
+    )
+    parser.add_argument(
+        "new",
+        metavar="NEW",
+        nargs="?",
+        default=None,
+        help="fresh snapshot to judge; optional with --trend",
+    )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help=(
+            "trend-only mode: print the table across every BENCH*.json "
+            "in the inputs' directories (or the current directory when "
+            "OLD/NEW are omitted) and exit 0 — no gate"
+        ),
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -376,6 +397,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance <= 1.0:
         parser.error(f"--tolerance must be > 1, got {args.tolerance}")
+    if args.trend:
+        # fuzzbench-style continuous-benchmarking view: the whole
+        # BENCH*.json history as one table, no gating — the inputs (if
+        # any) only widen the directories searched
+        dirs = {pathlib.Path()} | {
+            pathlib.Path(a).resolve().parent
+            for a in (args.old, args.new)
+            if a is not None
+        }
+        paths = sorted(
+            {p.resolve() for d in dirs for p in d.glob("BENCH*.json")}
+            | {pathlib.Path(a).resolve() for a in (args.old, args.new) if a is not None}
+        )
+        print(trend_table(paths))
+        return 0
+    if args.old is None or args.new is None:
+        parser.error("OLD and NEW are required unless --trend is given")
     old_path, new_path = pathlib.Path(args.old), pathlib.Path(args.new)
     try:
         old = load_snapshot_file(old_path)

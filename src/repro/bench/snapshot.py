@@ -14,6 +14,11 @@ one schema-versioned JSON document the history subsystem
 * **driver overhead** — rank-vectorized driver milliseconds per
   superstep at 256 and 1024 simulated ranks (the PR 3 axis, via
   :func:`~repro.bench.harness.measure_driver_overhead`);
+* **direction optimization** — serial BFS push-vs-adaptive wall time on
+  dense-frontier inputs and distributed RCM wall milliseconds per
+  superstep with the push/pull switch on, orderings enforced identical
+  (:func:`~repro.bench.harness.measure_direction_serial` /
+  :func:`~repro.bench.harness.measure_direction_dist`);
 * **processes-engine calibration** — measured per-phase wall-clock and
   measured/modeled ratios of a real worker-pool run (the SpMSpV
   per-phase times of EXPERIMENTS.md's Calibration section).
@@ -75,6 +80,10 @@ class SnapshotConfig:
     driver_baseline_max_ranks: int = 256
     calibration_matrix: str = "serena"
     calibration_procs: int = 2
+    direction_matrices: tuple[str, ...] = ("li7nmax6", "nd24k")
+    direction_rmat_scale: int = 15
+    direction_dist_matrix: str = "li7nmax6"
+    direction_dist_ranks: int = 16
 
 
 #: The full protocol: the PR 1 matrix set at scale 1.0 with the per-rank
@@ -213,6 +222,45 @@ def collect_metrics(config: SnapshotConfig) -> dict[str, dict]:
             metrics[f"driver.{name}.speedup.r{p}"] = _metric(
                 row["speedup"], "x", "higher", normalize=False, scale=scale
             )
+
+    # -------- direction optimization (push/pull switch) -----------------
+    from ..matrices.random_graphs import rmat
+    from .harness import measure_direction_dist, measure_direction_serial
+
+    with use_backend("numpy"):
+        direction_inputs = {
+            name: PAPER_SUITE[name].build(scale)
+            for name in config.direction_matrices
+        }
+        direction_inputs[f"rmat{config.direction_rmat_scale}"] = rmat(
+            config.direction_rmat_scale, edge_factor=8, seed=7
+        )
+        for name, A in direction_inputs.items():
+            seconds, identical = measure_direction_serial(A, repeats=config.repeats)
+            if not identical:
+                raise AssertionError(f"direction modes diverged on {name}")
+            metrics[f"direction.serial_bfs.{name}.adaptive.seconds"] = _metric(
+                seconds["adaptive"], "s", "lower", normalize=True, scale=scale
+            )
+            metrics[f"direction.serial_bfs.{name}.speedup"] = _metric(
+                seconds["push"] / max(seconds["adaptive"], 1e-300),
+                "x",
+                "higher",
+                normalize=False,
+                scale=scale,
+            )
+    name = config.direction_dist_matrix
+    A = PAPER_SUITE[name].build(scale)
+    best = None
+    for _ in range(max(config.repeats, 1)):
+        rows = measure_direction_dist(
+            A, config.direction_dist_ranks, machine=_calibrated_machine(name, A)
+        )
+        ms = rows["adaptive"]["ms_per_superstep"]
+        best = ms if best is None else min(best, ms)
+    metrics[f"direction.dist.{name}.ms_per_superstep.r{config.direction_dist_ranks}"] = (
+        _metric(best, "ms", "lower", normalize=True, scale=scale)
+    )
 
     # -------- processes-engine calibration (per-phase SpMSpV times) -----
     metrics.update(_calibration_metrics(config))

@@ -32,19 +32,29 @@ def gather_rows(A: CSRMatrix, rows: np.ndarray) -> np.ndarray:
     return A.indices[gather]
 
 
-def bfs_levels(A: CSRMatrix, root: int, backend=None) -> tuple[np.ndarray, int]:
+def bfs_levels(
+    A: CSRMatrix, root: int, backend=None, direction=None
+) -> tuple[np.ndarray, int]:
     """Level of every vertex from ``root`` (-1 if unreachable).
 
     Returns ``(levels, nlevels)`` where ``nlevels`` counts nonempty levels
     (the rooted level structure length, i.e. eccentricity + 1).  The
     frontier-expansion kernel is supplied by the active kernel backend
     (:mod:`repro.backends`); every backend returns identical levels.
+
+    ``direction`` selects the level kernel (:mod:`repro.core.direction`):
+    ``"push"`` expands the frontier top-down, ``"pull"`` scans the
+    unvisited vertices bottom-up, and ``"adaptive"`` (the default)
+    switches per level on Beamer-style edge-count thresholds.  Levels
+    are identical for every direction — only the work profile changes.
     """
     from ..backends import get_backend
+    from .direction import PULL, PUSH, resolve_direction
 
     n = A.nrows
     if not (0 <= root < n):
         raise ValueError("root out of range")
+    policy = resolve_direction(direction)
     kernels = get_backend(backend)
     levels = np.full(n, -1, dtype=np.int64)
     unvisited = np.ones(n, dtype=bool)
@@ -52,12 +62,34 @@ def bfs_levels(A: CSRMatrix, root: int, backend=None) -> tuple[np.ndarray, int]:
     unvisited[root] = False
     frontier = np.array([root], dtype=np.int64)
     depth = 0
+    current = PUSH
+    if policy.adaptive:
+        degrees = A.degrees()
+        unvisited_edges = int(A.nnz) - int(degrees[root])
+        frontier_edges = int(degrees[root])
     while frontier.size:
-        neigh = kernels.expand_frontier(A, frontier, unvisited)
+        current = (
+            policy.choose(
+                frontier_nnz=int(frontier.size),
+                frontier_edges=frontier_edges,
+                unvisited_edges=unvisited_edges,
+                n=n,
+                current=current,
+            )
+            if policy.adaptive
+            else policy.mode
+        )
+        if current == PULL:
+            neigh = kernels.expand_frontier_pull(A, frontier, unvisited)
+        else:
+            neigh = kernels.expand_frontier(A, frontier, unvisited)
         depth += 1
         levels[neigh] = depth
         unvisited[neigh] = False
         frontier = neigh
+        if policy.adaptive and frontier.size:
+            frontier_edges = int(degrees[frontier].sum())
+            unvisited_edges -= frontier_edges
     # the loop runs once per nonempty level, so `depth` == level count
     return levels, depth
 

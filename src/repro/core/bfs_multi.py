@@ -92,7 +92,7 @@ def batching_decision(A: CSRMatrix, start: int | None = None) -> BatchingDecisio
 
 
 def bfs_levels_multi(
-    A: CSRMatrix, roots: np.ndarray
+    A: CSRMatrix, roots: np.ndarray, direction=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Levels from every root in ``roots``, expanded in lockstep.
 
@@ -101,13 +101,22 @@ def bfs_levels_multi(
     ``bfs_levels(A, roots[k])[0]`` — and ``nlevels[k]`` is the rooted
     level structure length of root ``k``.  Duplicate roots are allowed
     (each row is an independent traversal).
+
+    ``direction`` (:mod:`repro.core.direction`) picks push/pull/adaptive
+    level kernels for the whole batch at once — the decision aggregates
+    edge counts over all sources, since the lockstep sweep expands every
+    source's frontier in the same fused gather.  Levels are identical
+    for every direction.
     """
+    from .direction import PULL, PUSH, resolve_direction
+
     roots = np.atleast_1d(np.asarray(roots, dtype=np.int64))
     k, n = roots.size, A.nrows
     if k == 0:
         return np.empty((0, n), dtype=np.int64), np.empty(0, dtype=np.int64)
     if roots.min() < 0 or roots.max() >= n:
         raise ValueError("root out of range")
+    policy = resolve_direction(direction)
     # flat (source, vertex) key space: entry s*n + v is source s's level
     # of vertex v; one flat array keeps every lookup a cheap 1D gather
     levels_flat = np.full(k * n, -1, dtype=np.int64)
@@ -118,31 +127,100 @@ def bfs_levels_multi(
     levels_flat[root_keys] = 0
     unvisited_flat[root_keys] = False
     depth = 0
+    current = PUSH
+    degrees = A.degrees()
+    if policy.adaptive:
+        unvisited_edges = k * int(A.nnz) - int(degrees[roots].sum())
+        frontier_edges = int(degrees[roots].sum())
     while vtx.size:
-        # one ragged gather covers every source's frontier
-        lens = A.indptr[vtx + 1] - A.indptr[vtx]
-        children = gather_rows(A, vtx)
-        if children.size == 0:
+        current = (
+            policy.choose(
+                frontier_nnz=int(vtx.size),
+                frontier_edges=frontier_edges,
+                unvisited_edges=unvisited_edges,
+                n=k * n,
+                current=current,
+            )
+            if policy.adaptive
+            else policy.mode
+        )
+        if current == PULL:
+            uniq_key = _expand_pull_multi(
+                A, n, src, vtx, unvisited_flat, degrees
+            )
+        else:
+            uniq_key = _expand_push_multi(A, n, src, vtx, unvisited_flat)
+        if uniq_key.size == 0:
             break
-        # per-edge work is the batch's cost floor: one repeat of the
-        # precomputed s*n bases, one add, one bool gather — then drop
-        # already-visited pairs BEFORE the dedup sort, since on dense
-        # low-diameter graphs most edges lead backward
-        key = np.repeat(src * n, lens) + children
-        key = key[unvisited_flat[key]]
-        if key.size == 0:
-            break
-        # fused-key unique dedups (source, child) pairs; its ordering
-        # (src-major, child ascending) reproduces the per-source
-        # np.unique ordering of the serial sweep
-        uniq_key = np.unique(key)
         depth += 1
         levels_flat[uniq_key] = depth
         unvisited_flat[uniq_key] = False
         src, vtx = uniq_key // n, uniq_key % n
+        if policy.adaptive:
+            frontier_edges = int(degrees[vtx].sum())
+            unvisited_edges -= frontier_edges
     levels = levels_flat.reshape(k, n)
     nlevels = levels.max(axis=1) + 1
     return levels, nlevels
+
+
+def _expand_push_multi(
+    A: CSRMatrix,
+    n: int,
+    src: np.ndarray,
+    vtx: np.ndarray,
+    unvisited_flat: np.ndarray,
+) -> np.ndarray:
+    """Top-down lockstep level: the fused (source, child) frontier expand."""
+    # one ragged gather covers every source's frontier
+    lens = A.indptr[vtx + 1] - A.indptr[vtx]
+    children = gather_rows(A, vtx)
+    if children.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # per-edge work is the batch's cost floor: one repeat of the
+    # precomputed s*n bases, one add, one bool gather — then drop
+    # already-visited pairs BEFORE the dedup sort, since on dense
+    # low-diameter graphs most edges lead backward
+    key = np.repeat(src * n, lens) + children
+    key = key[unvisited_flat[key]]
+    if key.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # fused-key unique dedups (source, child) pairs; its ordering
+    # (src-major, child ascending) reproduces the per-source
+    # np.unique ordering of the serial sweep
+    return np.unique(key)
+
+
+def _expand_pull_multi(
+    A: CSRMatrix,
+    n: int,
+    src: np.ndarray,
+    vtx: np.ndarray,
+    unvisited_flat: np.ndarray,
+    degrees: np.ndarray,
+) -> np.ndarray:
+    """Bottom-up lockstep level: scan every source's unvisited vertices.
+
+    Each unvisited ``(source, vertex)`` pair scans the vertex's
+    adjacency for a neighbor in that source's frontier; the surviving
+    pair keys are already the deduped next level (``np.unique`` only
+    sorts them), matching :func:`_expand_push_multi` exactly.
+    """
+    frontier_flat = np.zeros(unvisited_flat.size, dtype=bool)
+    fkey = src * n + vtx
+    frontier_flat[fkey] = True
+    cand = np.flatnonzero(unvisited_flat).astype(np.int64)
+    if cand.size == 0:
+        return np.empty(0, dtype=np.int64)
+    cvtx = cand % n
+    lens = degrees[cvtx]
+    children = gather_rows(A, cvtx)
+    if children.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # neighbor key in the same source's row of the flat key space
+    nkey = np.repeat(cand - cvtx, lens) + children
+    hit = frontier_flat[nkey]
+    return np.unique(np.repeat(cand, lens)[hit])
 
 
 def find_pseudo_peripheral_multi(
@@ -151,6 +229,7 @@ def find_pseudo_peripheral_multi(
     degrees: np.ndarray | None = None,
     *,
     heuristic: bool = True,
+    direction=None,
 ) -> list:
     """George-Liu pseudo-peripheral search from many starts, in lockstep.
 
@@ -166,7 +245,9 @@ def find_pseudo_peripheral_multi(
     lockstep bookkeeping loses to per-root scalar loops — fall back to
     the reference implementation.  Pass ``heuristic=False`` to force the
     batched sweep (the backend-ablation bench does, to measure batching
-    itself).  Results are bit-identical either way.
+    itself).  ``direction`` (:mod:`repro.core.direction`) selects the
+    push/pull/adaptive BFS level kernels for every sweep — scalar-loop
+    fallbacks included.  Results are bit-identical either way.
 
     Returns a list of
     :class:`~repro.core.pseudo_peripheral.PseudoPeripheralResult`, one
@@ -184,7 +265,11 @@ def find_pseudo_peripheral_multi(
     if starts.size == 1:
         # a size-1 batch has no per-level overhead to amortize; the
         # scalar loop wins by the lockstep bookkeeping constant
-        return [find_pseudo_peripheral_reference(A, int(starts[0]), degrees)]
+        return [
+            find_pseudo_peripheral_reference(
+                A, int(starts[0]), degrees, direction=direction
+            )
+        ]
     if heuristic:
         # both gates: density first (free), then a probe BFS from the
         # first start — the finder performs ~2 BFS per start, so one
@@ -192,7 +277,7 @@ def find_pseudo_peripheral_multi(
         decision = batching_decision(A, int(starts[0]))
         if not decision.use_batched:
             return [
-                find_pseudo_peripheral_reference(A, int(s), degrees)
+                find_pseudo_peripheral_reference(A, int(s), degrees, direction=direction)
                 for s in starts
             ]
     k = starts.size
@@ -205,7 +290,7 @@ def find_pseudo_peripheral_multi(
     deg_f = degrees.astype(np.float64)
     while active.size:
         nlvl[active] = ell[active]
-        levels, nlevels = bfs_levels_multi(A, r[active])
+        levels, nlevels = bfs_levels_multi(A, r[active], direction=direction)
         bfs_count[active] += 1
         last_nlevels[active] = nlevels
         ell[active] = nlevels - 1

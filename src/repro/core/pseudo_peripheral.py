@@ -54,6 +54,8 @@ def find_pseudo_peripheral(
     A: CSRMatrix,
     start: int,
     degrees: np.ndarray | None = None,
+    *,
+    direction=None,
 ) -> PseudoPeripheralResult:
     """Pseudo-peripheral vertex search from ``start`` (paper Algorithm 4).
 
@@ -72,13 +74,17 @@ def find_pseudo_peripheral(
     """
     from .bfs_multi import find_pseudo_peripheral_multi
 
-    return find_pseudo_peripheral_multi(A, np.array([start]), degrees)[0]
+    return find_pseudo_peripheral_multi(
+        A, np.array([start]), degrees, direction=direction
+    )[0]
 
 
 def find_pseudo_peripheral_reference(
     A: CSRMatrix,
     start: int,
     degrees: np.ndarray | None = None,
+    *,
+    direction=None,
 ) -> PseudoPeripheralResult:
     """The one-root-at-a-time George-Liu loop over :func:`bfs_levels`.
 
@@ -103,7 +109,7 @@ def find_pseudo_peripheral_reference(
     last_nlevels = 1
     while ell > nlvl:
         nlvl = ell
-        levels, nlevels = bfs_levels(A, r)
+        levels, nlevels = bfs_levels(A, r, direction=direction)
         bfs_count += 1
         last_nlevels = nlevels
         ell = nlevels - 1  # eccentricity estimate of this root

@@ -19,6 +19,7 @@ from .distvector import DistDenseVector, DistSparseVector
 from .permute import permute_distributed
 from .gather import gather_matrix_to_root, matrix_wire_words, scatter_permutation
 from .primitives import (
+    d_degree_sum,
     d_fill_values,
     d_first_index_where,
     d_nnz,
@@ -30,7 +31,7 @@ from .primitives import (
 from .rcm import DistRCMResult, distributed_pseudo_peripheral, rcm_distributed
 from .samplesort import d_sortperm_samplesort
 from .sortperm import bucket_of_labels, d_sortperm
-from .spmspv import dist_spmspv
+from .spmspv import dist_spmspv, dist_spmspv_pull
 from .spmv import DistCGResult, dist_cg, dist_spmv_dense
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "DistDenseVector",
     "DistSparseVector",
     "dist_spmspv",
+    "dist_spmspv_pull",
     "dist_spmv_dense",
     "dist_cg",
     "DistCGResult",
@@ -54,6 +56,7 @@ __all__ = [
     "d_reduce_argmin",
     "d_nnz",
     "d_first_index_where",
+    "d_degree_sum",
     "rcm_distributed",
     "DistRCMResult",
     "distributed_pseudo_peripheral",

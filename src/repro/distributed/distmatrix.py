@@ -69,6 +69,48 @@ class _FlatBlocks:
         return np.diff(self.cell_ptr).reshape(n, self.pr).sum(axis=1)
 
 
+class _FlatRows:
+    """Row-major rank-fused view for the vectorized *pull* SpMSpV driver.
+
+    The transpose-layout twin of :class:`_FlatBlocks`: entries are
+    grouped by the pair ``(global row r, block column j)`` with
+    ``cell_id = r * pc + j``, each cell holding one block's slice of one
+    matrix *row*.  Within a cell, entries keep ascending global-column
+    order (CSC stores column-major with rows ascending, so a stable sort
+    by cell id leaves each row's surviving entries column-ascending) —
+    the scan order that makes the pull kernel's reductions bit-identical
+    to the push kernel's.
+    """
+
+    __slots__ = ("pc", "cell_ptr", "gcol", "vals")
+
+    def __init__(self, mat: "DistSparseMatrix") -> None:
+        grid = mat.ctx.grid
+        self.pc = grid.pc
+        keys, gcols, vals = [], [], []
+        for (i, j), blk in mat.blocks.items():
+            if blk.nnz == 0:
+                continue
+            local_cols = np.repeat(
+                np.arange(blk.ncols, dtype=np.int64), blk.col_degrees()
+            )
+            keys.append((blk.indices + mat.row_offsets[i]) * self.pc + j)
+            gcols.append(local_cols + mat.col_offsets[j])
+            vals.append(blk.data)
+        if keys:
+            key = np.concatenate(keys)
+            order = np.argsort(key, kind="stable")
+            self.gcol = np.concatenate(gcols)[order]
+            self.vals = np.concatenate(vals)[order]
+            counts = np.bincount(key, minlength=mat.n * self.pc)
+        else:
+            self.gcol = np.empty(0, dtype=np.int64)
+            self.vals = np.empty(0, dtype=np.float64)
+            counts = np.zeros(mat.n * self.pc, dtype=np.int64)
+        self.cell_ptr = np.zeros(mat.n * self.pc + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.cell_ptr[1:])
+
+
 class DistSparseMatrix:
     """A square symmetric sparse matrix distributed on a 2D grid."""
 
@@ -80,6 +122,7 @@ class DistSparseMatrix:
         "col_offsets",
         "_key",
         "_flat",
+        "_flat_rows",
     )
 
     def __init__(
@@ -97,6 +140,7 @@ class DistSparseMatrix:
         self.col_offsets = col_offsets
         self._key = ctx.new_object_key("dmat")
         self._flat: _FlatBlocks | None = None
+        self._flat_rows: _FlatRows | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -177,6 +221,18 @@ class DistSparseMatrix:
         if self._flat is None:
             self._flat = _FlatBlocks(self)
         return self._flat
+
+    def flat_rows(self) -> _FlatRows:
+        """The row-major rank-fused structure (built lazily, cached).
+
+        Backs the rank-vectorized *pull* SpMSpV: one gather over
+        ``(row, block-column)`` cells scans every rank's unvisited rows
+        in a single fused numpy pass.  Costs ``O(n * pc)`` words once
+        per matrix, and only when a pull superstep actually runs.
+        """
+        if self._flat_rows is None:
+            self._flat_rows = _FlatRows(self)
+        return self._flat_rows
 
     @property
     def nnz(self) -> int:

@@ -44,6 +44,7 @@ __all__ = [
     "d_reduce_argmin",
     "d_nnz",
     "d_first_index_where",
+    "d_degree_sum",
 ]
 
 
@@ -229,6 +230,49 @@ def d_nnz(x: DistSparseVector, region: str) -> int:
         x.rank_counts().astype(np.float64), np.sum, region
     )
     return int(total)
+
+
+def d_degree_sum(x: DistSparseVector, y: DistDenseVector, region: str) -> float:
+    """Sum of dense payloads of ``y`` over ``IND(x)``: gather + Allreduce.
+
+    The direction heuristic's frontier-edge counter: with ``y`` the
+    degree vector, returns ``sum_{v in x} deg(v)``.  Each rank reduces
+    its own piece locally (exact — degrees are integers far below
+    2**53), then one scalar Allreduce makes the total global, so every
+    engine and driver sees the identical value and charge.
+    """
+    ctx = x.ctx
+    if not ctx.rank_vectorized:
+        return _d_degree_sum_perrank(x, y, region)
+    p = ctx.nprocs
+    counts = x.rank_counts()
+    sums = np.zeros(p, dtype=np.float64)
+    if x.idx.size:
+        payload = y.data[x.idx]
+        nonempty = counts > 0
+        seg_heads = x.starts[:-1][nonempty]
+        # reduceat over nonempty segment heads spans each nonempty
+        # segment exactly (empty segments collapse); integer-valued
+        # payloads make the summation order immaterial
+        sums[nonempty] = np.add.reduceat(payload, seg_heads)
+    ctx.charge_compute(region, counts)
+    return float(ctx.engine.allreduce_scalar(sums, np.sum, region))
+
+
+def _d_degree_sum_perrank(x, y, region):
+    ctx = x.ctx
+    offs = x.offs
+    x_indices, segments = x.indices, y.segments
+    sums: list[float] = []
+    ops = []
+    for k in range(ctx.nprocs):
+        idx = x_indices[k]
+        ops.append(idx.size)
+        sums.append(
+            float(segments[k][idx - offs[k]].sum()) if idx.size else 0.0
+        )
+    ctx.charge_compute(region, ops)
+    return float(ctx.engine.allreduce_scalar(sums, np.sum, region))
 
 
 def d_first_index_where(

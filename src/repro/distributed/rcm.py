@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.direction import PULL, PUSH
 from ..core.ordering import Ordering
 from ..machine.cost import CostLedger
 from ..machine.grid import ProcessGrid
@@ -34,6 +35,7 @@ from ..machine.params import MachineParams, edison
 from ..semiring.semiring import SELECT2ND_MIN, Semiring
 from ..sparse.csr import CSRMatrix
 from ..sparse.permute import compose_permutations, random_symmetric_permutation
+from .bfs import DirectionState
 from .context import DistContext
 from .distmatrix import DistSparseMatrix
 from .distvector import DistDenseVector, DistSparseVector
@@ -47,7 +49,7 @@ from .primitives import (
     d_set_dense,
 )
 from .sortperm import d_sortperm
-from .spmspv import dist_spmspv
+from .spmspv import dist_spmspv, dist_spmspv_pull
 
 __all__ = ["DistRCMResult", "rcm_distributed", "distributed_pseudo_peripheral"]
 
@@ -84,6 +86,7 @@ def distributed_pseudo_peripheral(
     start: int,
     sr: Semiring = SELECT2ND_MIN,
     backend=None,
+    direction: str = PUSH,
 ) -> tuple[int, int, int, int]:
     """Algorithm 4 on the grid: ``(vertex, nlevels, bfs_count, spmspv_calls)``."""
     ctx = A.ctx
@@ -93,15 +96,22 @@ def distributed_pseudo_peripheral(
     bfs_count = 0
     spmspv_calls = 0
     last_nlevels = 1
+    state = DirectionState(A, direction)
     while ell > nlvl:
         L = DistDenseVector.full(ctx, n, -1.0)
         Lcur = DistSparseVector.single(ctx, n, r, 0.0)
         nlvl = ell
         L.set(r, 0.0)
         ell = 0
+        state.start(Lcur, "peripheral:other")
         while True:
             Lcur = d_read_dense(Lcur, L, "peripheral:other")
-            Lnext = dist_spmspv(A, Lcur, sr, "peripheral:spmspv", backend=backend)
+            if state.next_direction(Lcur, Lcur.idx.size) == PULL:
+                Lnext = dist_spmspv_pull(
+                    A, Lcur, L.data == -1.0, sr, "peripheral:spmspv", backend=backend
+                )
+            else:
+                Lnext = dist_spmspv(A, Lcur, sr, "peripheral:spmspv", backend=backend)
             spmspv_calls += 1
             Lnext = d_select(
                 Lnext, L, lambda vals: vals == -1.0, "peripheral:other"
@@ -110,6 +120,7 @@ def distributed_pseudo_peripheral(
                 break
             ell += 1
             d_set_dense(L, d_fill_values(Lnext, float(ell)), "peripheral:other")
+            state.advance(Lnext, "peripheral:other")
             Lcur = Lnext
         bfs_count += 1
         last_nlevels = ell + 1
@@ -126,6 +137,7 @@ def _order_component(
     sr: Semiring,
     sort_impl: str = "bucket",
     backend=None,
+    direction: str = PUSH,
 ) -> tuple[int, int]:
     """Algorithm 3 on the grid; returns ``(new nv, spmspv_calls)``."""
     ctx = A.ctx
@@ -135,10 +147,19 @@ def _order_component(
     nv += 1
     nnz_cur = 1
     spmspv_calls = 0
+    state = DirectionState(A, direction)
+    state.start(Lcur, "ordering:other")
     while nnz_cur > 0:
         label_base = nv - nnz_cur
         Lcur = d_read_dense(Lcur, R, "ordering:other")  # line 6
-        Lnext = dist_spmspv(A, Lcur, sr, "ordering:spmspv", backend=backend)  # line 7
+        if state.next_direction(Lcur, nnz_cur) == PULL:
+            # line 7, bottom-up: unvisited vertices (R == -1) scan for a
+            # labeled frontier neighbor; fused mask replaces the SELECT
+            Lnext = dist_spmspv_pull(
+                A, Lcur, R.data == -1.0, sr, "ordering:spmspv", backend=backend
+            )
+        else:
+            Lnext = dist_spmspv(A, Lcur, sr, "ordering:spmspv", backend=backend)  # line 7
         spmspv_calls += 1
         Lnext = d_select(
             Lnext, R, lambda vals: vals == -1.0, "ordering:other"
@@ -180,6 +201,7 @@ def _order_component(
         )
         nv += nnz_next  # line 11
         d_set_dense(R, Rnext, "ordering:other")  # line 12
+        state.advance(Lnext, "ordering:other")
         Lcur = Lnext  # line 13
         nnz_cur = nnz_next
     return nv, spmspv_calls
@@ -198,6 +220,7 @@ def rcm_distributed(
     backend=None,
     engine: str = "simulated",
     procs: int | None = None,
+    direction: str = PUSH,
 ) -> DistRCMResult:
     """Compute the RCM ordering of ``A`` on an ``nprocs`` grid.
 
@@ -238,6 +261,12 @@ def rcm_distributed(
         Worker-process count for ``engine="processes"``; defaults to one
         worker per rank.  Ranks map onto workers in contiguous chunks,
         so ``procs < nprocs`` oversubscribes workers rather than failing.
+    direction:
+        BFS direction policy (:mod:`repro.core.direction`):
+        ``"push"`` (default — the paper's top-down supersteps and the
+        committed ledger baseline), ``"pull"``, or ``"adaptive"`` for
+        the Beamer-style per-level switch.  The ordering is bit-identical
+        for every choice, on every engine and driver.
     """
     if A.nrows != A.ncols:
         raise ValueError("RCM requires a square (symmetric) matrix")
@@ -288,14 +317,15 @@ def rcm_distributed(
             )
             first = False
             r, nlevels, bfs_count, calls = distributed_pseudo_peripheral(
-                dA, degrees, seed, sr, backend=backend
+                dA, degrees, seed, sr, backend=backend, direction=direction
             )
             roots.append(r)
             levels.append(nlevels)
             bfs_total += bfs_count
             spmspv_calls += calls
             nv, calls = _order_component(
-                dA, degrees, r, R, nv, sr, sort_impl, backend=backend
+                dA, degrees, r, R, nv, sr, sort_impl,
+                backend=backend, direction=direction,
             )
             spmspv_calls += calls
     finally:

@@ -48,6 +48,20 @@ charged as the paper's column-subcommunicator Allgather.
 
 Aggregate cost matches the paper's Section IV.B:
 ``T_SPMSPV = O(m/p + beta*(m/p + n/sqrt(p)) + iters*alpha*sqrt(p))``.
+
+**Direction optimization.**  :func:`dist_spmspv_pull` is the masked
+*pull* (bottom-up) superstep of direction-optimized BFS
+(:mod:`repro.core.direction`): Phase A aligns the input exactly like
+push, a second alignment step replicates each row block's unvisited mask
+within its processor row (an Allgather on the ``pc``-way row
+subcommunicator, charged through
+:meth:`~repro.machine.comm.CollectiveEngine.charge_mask_allgather`),
+Phase B scans each rank's *unvisited rows* instead of the frontier's
+columns (work ``sum_{r unvisited} nnz(A_ij(r, :))``), and Phase C is the
+identical row-wise merge — both directions share the Phase C helpers
+below, so their outputs and ledgers stay aligned by construction.  Pull
+results are bit-identical to masked push results, on both engines and
+both drivers.
 """
 
 from __future__ import annotations
@@ -60,7 +74,7 @@ from ..sparse.spvector import SparseVector
 from .distmatrix import DistSparseMatrix
 from .distvector import DistSparseVector
 
-__all__ = ["dist_spmspv", "PAIR_DTYPE"]
+__all__ = ["dist_spmspv", "dist_spmspv_pull", "PAIR_DTYPE"]
 
 #: Wire format of sparse-vector entries.  A structured dtype keeps the
 #: index lane in int64 end to end — round-tripping indices through
@@ -133,8 +147,7 @@ def _dist_spmspv_flat(
     ctx = A.ctx
     g = ctx.grid
     n = A.n
-    pr, pc, p = g.pr, g.pc, g.size
-    offs = ctx.vector_offsets(n)
+    pr, pc = g.pr, g.pc
     flat = A.flat_blocks()
     f = x.idx.size
 
@@ -190,9 +203,30 @@ def _dist_spmspv_flat(
     else:
         pkey = np.empty(0, dtype=np.int64)
         pvals = np.empty(0, dtype=np.float64)
+
+    return _phase_c_flat(A, pkey, pvals, sr, region)
+
+
+def _phase_c_flat(
+    A: DistSparseMatrix,
+    pkey: np.ndarray,
+    pvals: np.ndarray,
+    sr: Semiring,
+    region: str,
+) -> DistSparseVector:
+    """Fused Phase C, shared by the push and pull flat drivers.
+
+    ``pkey``/``pvals`` are the group-reduced per-rank partial outputs
+    keyed ``grid_column * n + global_row`` (ascending).
+    """
+    ctx = A.ctx
+    g = ctx.grid
+    n = A.n
+    pr, pc, p = g.pr, g.pc, g.size
+    offs = ctx.vector_offsets(n)
+    pair_words = PAIR_DTYPE.itemsize // 8
     pgrow = pkey % n
 
-    # ---------------- Phase C: merge within processor rows -------------
     # split points of every partial against every destination piece in
     # one searchsorted (the partials are (column, row)-sorted and the
     # rank boundary keys are ascending)
@@ -233,28 +267,9 @@ def _dist_spmspv_perrank(
 ) -> DistSparseVector:
     ctx = A.ctx
     g = ctx.grid
-    n = A.n
     backend_ref = _backend_name(backend)
-    x_indices = x.indices
-    x_values = x.values
 
-    # ---------------- Phase A: gather input pieces per grid column -----
-    # Column block j's entries live in vector pieces j*pr .. (j+1)*pr - 1
-    # (block/piece boundaries coincide by the balanced-split formula).
-    col_inputs: list[SparseVector] = []
-    groups = []
-    for j in range(g.pc):
-        contributions = [
-            _pack(x_indices[q], x_values[q])
-            for q in range(j * g.pr, (j + 1) * g.pr)
-        ]
-        groups.append(contributions)
-    gathered = ctx.engine.allgather_groups(groups, region)
-    for j in range(g.pc):
-        idx, vals = _unpack(gathered[j])
-        clo, chi = A.col_offsets[j], A.col_offsets[j + 1]
-        local = SparseVector(int(chi - clo), idx - clo, vals)
-        col_inputs.append(local)
+    col_inputs = _phase_a_perrank(A, x, region)
 
     # ---------------- Phase B: local multiplies ------------------------
     matrix_key = A.ensure_resident()
@@ -276,8 +291,53 @@ def _dist_spmspv_perrank(
             int(A.row_offsets[i + 1] - A.row_offsets[i]), idx, vals
         )
 
-    # ---------------- Phase C: merge within processor rows -------------
-    # one personalized Alltoall per processor row, all rows concurrent
+    return _phase_c_perrank(A, partials, sr, region)
+
+
+def _phase_a_perrank(
+    A: DistSparseMatrix, x: DistSparseVector, region: str
+) -> list[SparseVector]:
+    """Phase A, shared by the push and pull per-rank drivers.
+
+    Column block j's entries live in vector pieces j*pr .. (j+1)*pr - 1
+    (block/piece boundaries coincide by the balanced-split formula);
+    returns the aligned local input of every grid column.
+    """
+    ctx = A.ctx
+    g = ctx.grid
+    x_indices = x.indices
+    x_values = x.values
+    col_inputs: list[SparseVector] = []
+    groups = []
+    for j in range(g.pc):
+        contributions = [
+            _pack(x_indices[q], x_values[q])
+            for q in range(j * g.pr, (j + 1) * g.pr)
+        ]
+        groups.append(contributions)
+    gathered = ctx.engine.allgather_groups(groups, region)
+    for j in range(g.pc):
+        idx, vals = _unpack(gathered[j])
+        clo, chi = A.col_offsets[j], A.col_offsets[j + 1]
+        local = SparseVector(int(chi - clo), idx - clo, vals)
+        col_inputs.append(local)
+    return col_inputs
+
+
+def _phase_c_perrank(
+    A: DistSparseMatrix,
+    partials: dict[tuple[int, int], SparseVector],
+    sr: Semiring,
+    region: str,
+) -> DistSparseVector:
+    """Phase C, shared by the push and pull per-rank drivers.
+
+    One personalized Alltoall per processor row, all rows concurrent,
+    followed by a ``merge_packed`` superstep at every destination piece.
+    """
+    ctx = A.ctx
+    g = ctx.grid
+    n = A.n
     offs = ctx.vector_offsets(n)
     send_groups: list[list[list[np.ndarray]]] = []
     for i in range(g.pr):
@@ -318,3 +378,177 @@ def _dist_spmspv_perrank(
     out_values = [vals for _, vals in merged]
 
     return DistSparseVector(ctx, n, out_indices, out_values)
+
+
+# ----------------------------------------------------------------------
+# Direction-optimized pull (bottom-up) superstep
+# ----------------------------------------------------------------------
+def dist_spmspv_pull(
+    A: DistSparseMatrix,
+    x: DistSparseVector,
+    unvisited: np.ndarray,
+    sr: Semiring,
+    region: str,
+    backend=None,
+) -> DistSparseVector:
+    """Masked pull ``y = A x``: scan unvisited rows instead of frontier columns.
+
+    The bottom-up superstep of direction-optimized BFS.  ``unvisited``
+    is the dense global boolean mask of still-unvisited vertices
+    (conformal with the vector layout); only those output rows are
+    computed, for ``sum_{r unvisited} nnz(A(r, :))`` modeled work plus a
+    mask Allgather within each processor row.  The result is
+    bit-identical to ``dist_spmspv`` followed by SELECT-on-unvisited —
+    entry for entry, payload for payload — on both engines and both
+    drivers, and the modeled ledger is engine- and driver-identical.
+    """
+    if A.ctx.flat_supersteps:
+        return _dist_spmspv_pull_flat(A, x, unvisited, sr, region)
+    return _dist_spmspv_pull_perrank(A, x, unvisited, sr, region, backend)
+
+
+def _dist_spmspv_pull_flat(
+    A: DistSparseMatrix,
+    x: DistSparseVector,
+    unvisited: np.ndarray,
+    sr: Semiring,
+    region: str,
+) -> DistSparseVector:
+    ctx = A.ctx
+    g = ctx.grid
+    n = A.n
+    pr, pc = g.pr, g.pc
+    offs = ctx.vector_offsets(n)
+    rows_flat = A.flat_rows()
+
+    # ---------------- Phase A: gather input pieces per grid column -----
+    # identical to push — the pull multiply still needs the frontier's
+    # payloads aligned within every column block
+    group_entry_bounds = x.starts[np.arange(pc + 1, dtype=np.int64) * pr]
+    group_counts = np.diff(group_entry_bounds)
+    pair_words = PAIR_DTYPE.itemsize // 8
+    ctx.engine.charge_allgather_flat(
+        [pr] * pc, (pair_words * group_counts).tolist(), region
+    )
+
+    # ---------------- Phase A2: unvisited masks per processor row ------
+    # each rank scans its own piece to produce its mask slice, then row
+    # block i's mask is replicated within processor row i (pc members)
+    ctx.charge_compute(region, np.diff(offs))
+    ctx.engine.charge_mask_allgather(
+        [pc] * pr, np.diff(A.row_offsets).tolist(), region
+    )
+
+    # ---------------- Phase B: masked bottom-up scans, fused -----------
+    # cell (r, j) = block column j's slice of global row r; gathering the
+    # unvisited rows' cells for every block column at once reproduces
+    # each rank's local row scan in kernel order (row-major, columns
+    # ascending within a cell).
+    cand = np.flatnonzero(unvisited).astype(np.int64)
+    cells = cand[:, None] * pc + np.arange(pc, dtype=np.int64)  # (u, pc)
+    cstart = rows_flat.cell_ptr[cells]
+    clens = rows_flat.cell_ptr[cells + 1] - cstart
+
+    # per-rank op counts: row-block segment sums of clens per grid column
+    row_bounds = np.searchsorted(cand, A.row_offsets)  # (pr + 1,)
+    cum = np.zeros((cand.size + 1, pc), dtype=np.int64)
+    np.cumsum(clens, axis=0, out=cum[1:])
+    ops_ij = cum[row_bounds[1:]] - cum[row_bounds[:-1]]  # (pr, pc)
+    ctx.charge_compute(region, ops_ij.ravel())
+
+    # multi-range gather of every (unvisited row, block column) cell
+    lens = clens.ravel()  # row-major, block column inner
+    starts_flat = cstart.ravel()
+    total = int(lens.sum())
+    cum_lens = np.cumsum(lens)
+    pos = np.arange(total, dtype=np.int64) + np.repeat(
+        starts_flat - (cum_lens - lens), lens
+    )
+    ecol = rows_flat.gcol[pos]
+    evals = rows_flat.vals[pos]
+    erow = np.repeat(np.broadcast_to(cand[:, None], clens.shape).ravel(), lens)
+    ej = np.repeat(
+        np.broadcast_to(np.arange(pc, dtype=np.int64)[None, :], clens.shape).ravel(),
+        lens,
+    )
+
+    # frontier-membership filter + multiply, in scan order
+    in_frontier = np.zeros(n, dtype=bool)
+    in_frontier[x.idx] = True
+    hit = in_frontier[ecol]
+    erow, ej, ecol, evals = erow[hit], ej[hit], ecol[hit], evals[hit]
+    x_dense = np.empty(n, dtype=np.float64)
+    x_dense[x.idx] = x.vals
+    products = np.asarray(sr.multiply(evals, x_dense[ecol]), dtype=np.float64)
+
+    # per-rank partial outputs: group-reduce by (grid column, global row)
+    # — entries are (row, column-block, column)-ordered, so each (j, r)
+    # group reduces in ascending-column order, exactly like the push
+    # kernel's per-block partial for the same row
+    cand_key = ej * n + erow
+    if cand_key.size:
+        pkey, pvals = _group_reduce(cand_key, products, sr)
+    else:
+        pkey = np.empty(0, dtype=np.int64)
+        pvals = np.empty(0, dtype=np.float64)
+
+    return _phase_c_flat(A, pkey, pvals, sr, region)
+
+
+def _dist_spmspv_pull_perrank(
+    A: DistSparseMatrix,
+    x: DistSparseVector,
+    unvisited: np.ndarray,
+    sr: Semiring,
+    region: str,
+    backend=None,
+) -> DistSparseVector:
+    ctx = A.ctx
+    g = ctx.grid
+    n = A.n
+    offs = ctx.vector_offsets(n)
+    backend_ref = _backend_name(backend)
+
+    col_inputs = _phase_a_perrank(A, x, region)
+
+    # ---------------- Phase A2: unvisited masks per processor row ------
+    # mask wire format: one np.bool_ byte per vertex (see
+    # repro.machine.cost.mask_words) — the per-rank Allgather of raw
+    # bool slices charges exactly what the flat driver's
+    # charge_mask_allgather computes arithmetically
+    ctx.charge_compute(region, np.diff(offs))
+    mask_groups = []
+    for i in range(g.pr):
+        mask_groups.append(
+            [
+                np.ascontiguousarray(unvisited[offs[q] : offs[q + 1]], dtype=bool)
+                for q in range(i * g.pc, (i + 1) * g.pc)
+            ]
+        )
+    row_masks = ctx.engine.allgather_groups(mask_groups, region)
+
+    # ---------------- Phase B: masked bottom-up block scans ------------
+    matrix_key = A.ensure_resident()
+    ops_per_rank: list[int] = []
+    payloads = []
+    for r in range(g.size):
+        i, j = g.coords(r)
+        xj = col_inputs[j]
+        mi = row_masks[i]
+        # modeled work = unvisited-row nnz of the block; the CSC block's
+        # cached row degrees answer that without a driver-side CSR twin
+        # (workers derive their own CSR lazily in the resident store)
+        ops_per_rank.append(int(A.block(i, j).row_degrees()[mi].sum()))
+        payloads.append(
+            (matrix_key, r, xj.indices, xj.values, xj.n, mi, sr, backend_ref)
+        )
+    ctx.charge_compute(region, ops_per_rank)
+    multiplied = ctx.run_superstep("spmspv_pull_block", payloads, region)
+    partials: dict[tuple[int, int], SparseVector] = {}
+    for r, (idx, vals) in enumerate(multiplied):
+        i, j = g.coords(r)
+        partials[(i, j)] = SparseVector(
+            int(A.row_offsets[i + 1] - A.row_offsets[i]), idx, vals
+        )
+
+    return _phase_c_perrank(A, partials, sr, region)

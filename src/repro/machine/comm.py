@@ -194,6 +194,27 @@ class CollectiveEngine:
         """
         self._charge_allgather_groups(group_sizes, out_words, region)
 
+    def charge_mask_allgather(
+        self,
+        group_sizes: Sequence[int],
+        mask_lengths: Sequence[int],
+        region: str,
+    ) -> None:
+        """Charge concurrent Allgathers of dense boolean masks.
+
+        The pull phase of direction-optimized SpMSpV replicates each row
+        block's unvisited mask within its processor row; this converts
+        the mask *lengths* to wire words through
+        :func:`repro.machine.cost.mask_words` (one byte per vertex) and
+        charges exactly what :meth:`allgather_groups` charges when
+        handed the equivalent ``np.bool_`` buffers.
+        """
+        from .cost import mask_words
+
+        self._charge_allgather_groups(
+            group_sizes, [mask_words(ln) for ln in mask_lengths], region
+        )
+
     def charge_alltoall_flat(
         self,
         sent_words: np.ndarray,

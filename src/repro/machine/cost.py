@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["RegionCost", "CostLedger", "REGIONS"]
+__all__ = ["RegionCost", "CostLedger", "REGIONS", "mask_words"]
 
 #: Canonical region names used by the RCM pipeline (Fig. 4 legend).
+#: Direction-optimized (pull) supersteps charge into the same
+#: ``<phase>:spmspv`` regions as push ones — the Fig. 4 breakdown is by
+#: pipeline phase, not by kernel direction.
 REGIONS = (
     "peripheral:spmspv",
     "peripheral:other",
@@ -31,6 +34,19 @@ REGIONS = (
     "ordering:sort",
     "ordering:other",
 )
+
+
+def mask_words(length: int) -> int:
+    """Wire size, in machine words, of a dense boolean mask of ``length``.
+
+    The pull (bottom-up) SpMSpV replicates the unvisited mask of each
+    row block along its processor row; masks travel as one byte per
+    vertex (``np.bool_``), so a length-``L`` mask occupies
+    ``ceil(L / 8)`` 8-byte words.  Both distributed drivers and the
+    collective engine charge mask traffic through this one formula so
+    the ledgers cannot drift.
+    """
+    return (int(length) + 7) // 8
 
 
 @dataclass

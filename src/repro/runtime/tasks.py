@@ -101,6 +101,32 @@ def _spmspv_block(state: RuntimeState, payload):
     return y.indices, y.values
 
 
+@task("spmspv_pull_block")
+def _spmspv_pull_block(state: RuntimeState, payload):
+    """Pull-direction Phase B: one rank's masked bottom-up block multiply.
+
+    ``payload = (matrix_key, rank, x_indices, x_values, ncols, row_mask,
+    sr, backend_name)``; the resident object is the CSC block — the
+    row-major (CSR) form the pull kernel scans is derived on first use
+    and cached in the same resident store under ``(rank, "rowmajor")``,
+    so it is built once per (matrix, worker) and freed together with
+    the matrix.  ``row_mask`` selects the block's still-unvisited local
+    rows.  Returns the partial output's ``(indices, values)``.
+    """
+    from ..semiring.spmspv import spmspv_pull
+    from ..sparse.spvector import SparseVector
+
+    matrix_key, rank, idx, vals, ncols, row_mask, sr, backend = payload
+    store = state.objects[matrix_key]
+    rowmajor = store.get((rank, "rowmajor"))
+    if rowmajor is None:
+        rowmajor = store[rank].to_csr()
+        store[(rank, "rowmajor")] = rowmajor
+    x = SparseVector(int(ncols), idx, vals)
+    y = spmspv_pull(rowmajor, x, sr, row_mask, backend=backend)
+    return y.indices, y.values
+
+
 @task("merge_packed")
 def _merge_packed(state: RuntimeState, payload):
     """Phase C of the 2D SpMSpV: one rank's duplicate merge.

@@ -9,7 +9,14 @@ from .semiring import (
     STANDARD_SEMIRINGS,
     Semiring,
 )
-from .spmspv import spmspv_csc, spmspv_csr, spmspv_work, spmv_dense
+from .spmspv import (
+    spmspv_csc,
+    spmspv_csr,
+    spmspv_pull,
+    spmspv_pull_work,
+    spmspv_work,
+    spmv_dense,
+)
 
 __all__ = [
     "Semiring",
@@ -21,6 +28,8 @@ __all__ = [
     "STANDARD_SEMIRINGS",
     "spmspv_csc",
     "spmspv_csr",
+    "spmspv_pull",
     "spmspv_work",
+    "spmspv_pull_work",
     "spmv_dense",
 ]

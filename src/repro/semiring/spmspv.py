@@ -16,6 +16,19 @@ kernels are provided:
 Both kernels support an optional dense boolean ``mask`` that suppresses
 output rows (the fused form of the SELECT-by-unvisited step).
 
+A third kernel serves direction optimization (see
+:mod:`repro.core.direction`):
+
+* :func:`spmspv_pull` — the masked *pull* (bottom-up) step.  Instead of
+  gathering the frontier's columns, it scans the rows selected by the
+  mask (the still-unvisited vertices) and intersects each row's pattern
+  with the input vector, so the work is
+  ``sum_{r : mask[r]} nnz(A(r, :))`` — the winning side when the
+  frontier is dense and few vertices remain unvisited.  Results are
+  bit-identical to the push kernels: candidates are visited in the same
+  ascending-column order the push kernels' dedup sort produces, so even
+  order-sensitive semiring reductions agree exactly.
+
 The public functions here are *dispatchers*: they resolve a kernel
 backend (:mod:`repro.backends`) and delegate.  The pure-numpy reference
 implementations live alongside as ``_numpy``-suffixed functions; they are
@@ -32,7 +45,14 @@ from ..sparse.csr import CSRMatrix
 from ..sparse.spvector import SparseVector
 from .semiring import Semiring
 
-__all__ = ["spmspv_csc", "spmspv_csr", "spmspv_work", "spmv_dense"]
+__all__ = [
+    "spmspv_csc",
+    "spmspv_csr",
+    "spmspv_pull",
+    "spmspv_work",
+    "spmspv_pull_work",
+    "spmv_dense",
+]
 
 
 def spmspv_work(A: CSCMatrix, x: SparseVector) -> int:
@@ -44,6 +64,19 @@ def spmspv_work(A: CSCMatrix, x: SparseVector) -> int:
     if x.nnz == 0:
         return 0
     return int(np.sum(A.indptr[x.indices + 1] - A.indptr[x.indices]))
+
+
+def spmspv_pull_work(A: CSRMatrix, mask: np.ndarray | None) -> int:
+    """Number of scalar operations ``spmspv_pull`` will perform.
+
+    Equals ``sum_{r : mask[r]} nnz(A(r, :))`` — the bottom-up side of
+    the direction switch; the machine model charges pull supersteps with
+    exactly this count.
+    """
+    if mask is None:
+        return int(A.nnz)
+    degs = A.degrees()
+    return int(degs[np.asarray(mask, dtype=bool)].sum())
 
 
 def _group_reduce(
@@ -132,6 +165,59 @@ def spmspv_csr_numpy(
     return SparseVector(A.nrows, uniq_rows, reduced)
 
 
+def spmspv_pull_numpy(
+    A: CSRMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+) -> SparseVector:
+    """Reference pull kernel: masked row scan over the unvisited vertices.
+
+    Gathers the adjacency of the mask's rows (one ragged gather), keeps
+    the entries whose column is a nonzero of ``x``, and group-reduces by
+    row.  Candidate rows are scanned ascending and each row's pattern is
+    stored ascending, so for every output row the products arrive in
+    ascending-column order — exactly the order ``spmspv_csc`` leaves
+    them in after its stable dedup sort, which is what makes push and
+    pull bit-identical even for order-sensitive reductions.
+    """
+    if x.n != A.ncols:
+        raise ValueError("dimension mismatch between matrix and vector")
+    if x.nnz == 0:
+        return SparseVector.empty(A.nrows)
+
+    rows_cand = (
+        np.flatnonzero(np.asarray(mask, dtype=bool))
+        if mask is not None
+        else np.arange(A.nrows, dtype=np.int64)
+    )
+    if rows_cand.size == 0:
+        return SparseVector.empty(A.nrows)
+    starts = A.indptr[rows_cand]
+    lens = A.indptr[rows_cand + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return SparseVector.empty(A.nrows)
+    offsets = np.concatenate([[0], np.cumsum(lens)[:-1]])
+    gather = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, lens)
+    cols = A.indices[gather]
+    avals = A.data[gather]
+    rows = np.repeat(rows_cand, lens)
+
+    present = np.zeros(A.ncols, dtype=bool)
+    present[x.indices] = True
+    hits = present[cols]
+    if not hits.any():
+        return SparseVector.empty(A.nrows)
+    rows, avals, cols = rows[hits], avals[hits], cols[hits]
+    x_dense = np.full(A.ncols, np.nan)
+    x_dense[x.indices] = x.values
+    products = np.asarray(sr.multiply(avals, x_dense[cols]), dtype=np.float64)
+
+    uniq_rows, reduced = _group_reduce(rows, products, sr)
+    return SparseVector(A.nrows, uniq_rows, reduced)
+
+
 def spmv_dense_numpy(A: CSRMatrix, x: np.ndarray, sr: Semiring) -> np.ndarray:
     """Reference dense-vector semiring product."""
     x = np.asarray(x, dtype=np.float64)
@@ -197,6 +283,28 @@ def spmspv_csr(
     from ..backends import get_backend
 
     return get_backend(backend).spmspv_csr(A, x, sr, mask)
+
+
+def spmspv_pull(
+    A: CSRMatrix,
+    x: SparseVector,
+    sr: Semiring,
+    mask: np.ndarray | None = None,
+    backend=None,
+) -> SparseVector:
+    """Masked pull (bottom-up) ``y = A x``: scan ``mask``'s rows.
+
+    The direction-optimized counterpart of :func:`spmspv_csc`: the same
+    semiring product, computed by intersecting each masked row's pattern
+    with ``x`` instead of gathering the frontier's columns.  With
+    ``mask`` the unvisited set, the output equals
+    ``spmspv_csc(A_csc, x, sr, mask)`` bit-for-bit while performing
+    :func:`spmspv_pull_work` operations — the smaller side when the
+    frontier is dense.  ``mask=None`` scans every row.
+    """
+    from ..backends import get_backend
+
+    return get_backend(backend).spmspv_pull(A, x, sr, mask)
 
 
 def spmv_dense(

@@ -112,6 +112,16 @@ class CSCMatrix:
             self._cache["col_degrees"] = deg
         return deg
 
+    def row_degrees(self) -> np.ndarray:
+        """Nonzeros per row (cached).  The pull-direction work counter:
+        row-major cost accounting without materializing a CSR twin."""
+        deg = self._cache.get("row_degrees")
+        if deg is None:
+            deg = np.bincount(self.indices, minlength=self.nrows)
+            deg.setflags(write=False)
+            self._cache["row_degrees"] = deg
+        return deg
+
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------

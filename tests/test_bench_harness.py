@@ -36,6 +36,7 @@ def test_registry_complete():
         "csc-ablation",
         "backend-ablation",
         "driver-overhead",
+        "direction",
         "balance-ablation",
         "semiring-ablation",
         "skyline",

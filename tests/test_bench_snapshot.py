@@ -58,6 +58,11 @@ def test_snapshot_covers_the_curated_metric_set(micro_doc):
     # processes-engine calibration: per-phase SpMSpV measured time + ratio
     assert "calibration.measured.ordering:spmspv.seconds" in names
     assert "calibration.ratio.total" in names
+    # direction optimization: serial BFS on dense-frontier inputs + the
+    # distributed ms/superstep with the push/pull switch on
+    assert "direction.serial_bfs.li7nmax6.speedup" in names
+    assert "direction.serial_bfs.rmat15.adaptive.seconds" in names
+    assert "direction.dist.li7nmax6.ms_per_superstep.r16" in names
     for m in micro_doc["metrics"].values():
         assert m["value"] >= 0
         assert m["params"]["scale"] == 0.45

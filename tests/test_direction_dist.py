@@ -1,0 +1,252 @@
+"""Direction-optimized distributed BFS/RCM: engines, drivers, ledgers.
+
+The distributed direction contract (DESIGN.md §9): for every grid shape
+and every direction mode, ``dist_bfs`` and ``rcm_distributed`` return
+bit-identical levels/parents/orderings to the push-only oracle, and the
+modeled ledger of a direction-optimized run is bit-identical between
+
+* the rank-vectorized flat driver and the per-rank reference driver
+  (``DistContext(rank_vectorized=False)``), and
+* the simulated engine and the processes engine (worker count from
+  ``REPRO_TEST_PROCS``, CI forces 2).
+
+The pull superstep itself (``dist_spmspv_pull``) is additionally pinned
+against push + SELECT on real BFS frontiers.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import bfs_levels, bfs_parents
+from repro.distributed import (
+    DistContext,
+    DistSparseMatrix,
+    DistSparseVector,
+    d_degree_sum,
+    d_nnz,
+    d_select,
+    dist_bfs,
+    dist_spmspv,
+    dist_spmspv_pull,
+    rcm_distributed,
+)
+from repro.machine import CostLedger, MachineParams, ProcessGrid
+from repro.matrices.random_graphs import disconnected_union, erdos_renyi
+from repro.matrices.stencil import stencil_2d
+from repro.runtime import WorkerPool
+from repro.semiring import SELECT2ND_MIN
+from repro.sparse.permute import random_symmetric_permutation
+
+NPROCS = int(os.environ.get("REPRO_TEST_PROCS", "2"))
+
+MODES = ("push", "pull", "adaptive")
+
+GRID_SHAPES = [(1, 1), (1, 4), (4, 1), (2, 2), (2, 3), (3, 2), (3, 3), (4, 4), (8, 8)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(NPROCS)
+    yield p
+    p.close()
+
+
+def _machine() -> MachineParams:
+    return MachineParams(threads_per_process=1)
+
+
+def _mesh():
+    A, _ = random_symmetric_permutation(stencil_2d(13, 13), seed=3)
+    return A
+
+
+def _dense():
+    return erdos_renyi(260, 14.0, seed=5)
+
+
+def assert_ledgers_identical(a: CostLedger, b: CostLedger) -> None:
+    assert a.region_names() == b.region_names()
+    for name in a.region_names():
+        ra, rb = a.region(name), b.region(name)
+        assert ra.compute_seconds == rb.compute_seconds, name
+        assert ra.comm_seconds == rb.comm_seconds, name
+        assert (ra.operations, ra.messages, ra.words) == (
+            rb.operations,
+            rb.messages,
+            rb.words,
+        ), name
+
+
+# ----------------------------------------------------------------------
+# The pull superstep against push + SELECT
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pr,pc", [(1, 1), (2, 3), (4, 4)])
+@pytest.mark.parametrize("rank_vectorized", [True, False])
+def test_dist_spmspv_pull_equals_masked_push(pr, pc, rank_vectorized):
+    A = _dense()
+    ctx_a = DistContext(ProcessGrid(pr, pc), _machine(), rank_vectorized=rank_vectorized)
+    ctx_b = DistContext(ProcessGrid(pr, pc), _machine(), rank_vectorized=rank_vectorized)
+    dA = DistSparseMatrix.from_csr(ctx_a, A)
+    dB = DistSparseMatrix.from_csr(ctx_b, A)
+    levels, _ = bfs_levels(A, 0)
+    visited = np.zeros(A.nrows, dtype=bool)
+    visited[0] = True
+    frontier_idx = np.array([0], dtype=np.int64)
+    while frontier_idx.size:
+        vals = frontier_idx.astype(np.float64)
+        xa = DistSparseVector(ctx_a, A.nrows, frontier_idx.copy(), vals.copy())
+        xb = DistSparseVector(ctx_b, A.nrows, frontier_idx.copy(), vals.copy())
+        y_push = dist_spmspv(dA, xa, SELECT2ND_MIN, "t")
+        unvisited = ~visited
+        y_pull = dist_spmspv_pull(dB, xb, unvisited, SELECT2ND_MIN, "t")
+        keep = unvisited[y_push.idx]
+        assert np.array_equal(y_push.idx[keep], y_pull.idx)
+        assert np.array_equal(y_push.vals[keep], y_pull.vals)
+        frontier_idx = y_pull.idx
+        visited[frontier_idx] = True
+
+
+# ----------------------------------------------------------------------
+# dist_bfs and rcm_distributed: modes x drivers x grids
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pr,pc", GRID_SHAPES)
+def test_dist_bfs_and_rcm_identical_across_modes_and_drivers(pr, pc):
+    A = _dense()
+    serial_levels, _ = bfs_levels(A, 0)
+    serial_parents = bfs_parents(A, 0)
+    grid = ProcessGrid(pr, pc)
+    oracle_perm = None
+    ledgers = {}
+    for mode in MODES:
+        for rv in (True, False):
+            ctx = DistContext(grid, _machine(), rank_vectorized=rv)
+            dA = DistSparseMatrix.from_csr(ctx, A)
+            res = dist_bfs(dA, 0, compute_parents=True, direction=mode)
+            assert np.array_equal(res.levels, serial_levels), (mode, rv)
+            assert np.array_equal(res.parents, serial_parents), (mode, rv)
+            ledgers[(mode, rv)] = ctx.ledger
+
+            r = rcm_distributed(
+                A,
+                ctx=DistContext(grid, _machine(), rank_vectorized=rv),
+                random_permute=0,
+                direction=mode,
+            )
+            if oracle_perm is None:
+                oracle_perm = r.ordering.perm
+            assert np.array_equal(r.ordering.perm, oracle_perm), (mode, rv)
+    for mode in MODES:
+        assert_ledgers_identical(ledgers[(mode, True)], ledgers[(mode, False)])
+
+
+def test_forced_pull_runs_pull_supersteps_and_adaptive_switches():
+    A = _dense()
+    ctx = DistContext(ProcessGrid(2, 2), _machine())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    res_pull = dist_bfs(dA, 0, direction="pull")
+    assert res_pull.pull_calls == res_pull.spmspv_calls > 0
+    res_push = dist_bfs(dA, 0, direction="push")
+    assert res_push.pull_calls == 0
+    # the ER graph saturates in a few levels: adaptive must engage pull
+    res_ad = dist_bfs(dA, 0, direction="adaptive")
+    assert 0 < res_ad.pull_calls <= res_ad.spmspv_calls
+
+
+def test_mesh_adaptive_mostly_pushes():
+    """High-diameter mesh: frontiers stay sparse, the switch stays push."""
+    A = _mesh()
+    ctx = DistContext(ProcessGrid(2, 2), _machine())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    res = dist_bfs(dA, 0, direction="adaptive")
+    assert res.pull_calls < res.spmspv_calls / 2
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_disconnected_components_all_modes(mode):
+    A = disconnected_union([stencil_2d(5, 5), erdos_renyi(60, 8.0, seed=2)])
+    ref = rcm_distributed(A, nprocs=4, random_permute=0, direction="push")
+    got = rcm_distributed(A, nprocs=4, random_permute=0, direction=mode)
+    assert np.array_equal(ref.ordering.perm, got.ordering.perm)
+
+
+def test_d_degree_sum_matches_serial_and_drivers():
+    A = _dense()
+    deg = A.degrees().astype(np.float64)
+    for rv in (True, False):
+        ctx = DistContext(ProcessGrid(2, 3), _machine(), rank_vectorized=rv)
+        dA = DistSparseMatrix.from_csr(ctx, A)
+        idx = np.arange(0, A.nrows, 3, dtype=np.int64)
+        x = DistSparseVector(ctx, A.nrows, idx.copy(), idx.astype(np.float64))
+        got = d_degree_sum(x, dA.degrees(), "t")
+        assert got == float(deg[idx].sum())
+
+
+# ----------------------------------------------------------------------
+# Processes engine: orderings AND ledgers bit-identical per mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", MODES)
+def test_processes_engine_identical_per_mode(pool, mode):
+    A = _dense()
+    grid = ProcessGrid(2, 2)
+    sctx = DistContext(grid, _machine())
+    sres = rcm_distributed(A, ctx=sctx, random_permute=0, direction=mode)
+    pctx = DistContext(grid, _machine(), engine="processes", pool=pool)
+    pres = rcm_distributed(A, ctx=pctx, random_permute=0, direction=mode)
+    assert np.array_equal(sres.ordering.perm, pres.ordering.perm)
+    assert_ledgers_identical(sctx.ledger, pctx.ledger)
+
+
+def test_processes_engine_dist_bfs_pull(pool):
+    A = _mesh()
+    grid = ProcessGrid(2, 2)
+    serial_levels, _ = bfs_levels(A, 0)
+    pctx = DistContext(grid, _machine(), engine="processes", pool=pool)
+    dA = DistSparseMatrix.from_csr(pctx, A)
+    res = dist_bfs(dA, 0, direction="pull")
+    dA.release_resident()
+    assert np.array_equal(res.levels, serial_levels)
+    assert res.pull_calls == res.spmspv_calls
+
+
+def test_pull_select_is_noop_after_fused_mask():
+    """The pull superstep's fused mask makes the following SELECT keep
+    everything — pinned so the loops' d_select stays a no-op, not a
+    correctness crutch."""
+    A = _dense()
+    ctx = DistContext(ProcessGrid(2, 2), _machine())
+    dA = DistSparseMatrix.from_csr(ctx, A)
+    from repro.distributed import DistDenseVector
+
+    L = DistDenseVector.full(ctx, A.nrows, -1.0)
+    L.set(0, 0.0)
+    x = DistSparseVector(ctx, A.nrows, np.array([0], dtype=np.int64), np.array([0.0]))
+    y = dist_spmspv_pull(dA, x, L.data == -1.0, SELECT2ND_MIN, "t")
+    y2 = d_select(y, L, lambda vals: vals == -1.0, "t")
+    assert d_nnz(y2, "t") == y.idx.size
+
+
+@pytest.mark.parametrize("name", ["nd24k", "ldoor", "serena", "li7nmax6"])
+def test_paper_suite_orderings_identical_across_modes(name):
+    """Acceptance sweep: suite matrices, push oracle vs pull/adaptive RCM."""
+    from repro.matrices.suite import PAPER_SUITE
+
+    A = PAPER_SUITE[name].build(0.4)
+    ledgers = {}
+    ref = None
+    for mode in MODES:
+        ctx = DistContext(ProcessGrid(2, 2), _machine())
+        res = rcm_distributed(A, ctx=ctx, random_permute=0, direction=mode)
+        if ref is None:
+            ref = res.ordering.perm
+        assert np.array_equal(res.ordering.perm, ref), (name, mode)
+        ledgers[mode] = ctx.ledger
+        per = rcm_distributed(
+            A,
+            ctx=DistContext(ProcessGrid(2, 2), _machine(), rank_vectorized=False),
+            random_permute=0,
+            direction=mode,
+        )
+        assert np.array_equal(per.ordering.perm, ref), (name, mode, "per-rank")
+        assert_ledgers_identical(ledgers[mode], per.ledger)

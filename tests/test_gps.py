@@ -8,6 +8,8 @@ from repro.core import bandwidth_of_permutation, rcm_serial
 from repro.matrices import stencil_2d
 from repro.sparse import is_permutation, random_symmetric_permutation
 
+from .conftest import csr_from_edges
+
 
 def test_valid_permutation(random_graph):
     o = gps_ordering(random_graph)
@@ -60,5 +62,32 @@ def test_rectangular_rejected():
 def test_combined_structure_no_vertex_lost():
     """Every vertex of every component must receive a level (phase 2)."""
     A, _ = random_symmetric_permutation(stencil_2d(9, 7), 8)
+    o = gps_ordering(A)
+    assert is_permutation(o.perm, A.nrows)
+
+
+def test_degenerate_endpoint_pair_regression():
+    """s is only PSEUDO-peripheral, so the end vertex e of phase 1 can
+    have a strictly deeper level structure; the phase-2 merge used to
+    compute the reverse coordinate ``length - le`` and crash on its
+    negative levels.  This 11-vertex graph hits that path (found by
+    hypothesis); GPS must fall back to L(s) and still emit a valid
+    permutation.
+    """
+    from repro.core.bfs import bfs_levels
+    from repro.core.pseudo_peripheral import find_pseudo_peripheral
+
+    edges = [
+        (0, 6), (0, 8), (0, 9), (1, 9), (1, 10), (2, 3),
+        (2, 8), (3, 6), (3, 7), (3, 8), (7, 10),
+    ]
+    A = csr_from_edges(11, edges)
+    # precondition: the pair really is degenerate (depths differ)
+    s = find_pseudo_peripheral(A, 0, A.degrees()).vertex
+    ls, nlv = bfs_levels(A, s)
+    last = np.flatnonzero(ls == nlv - 1)
+    e = int(last[np.argmin(A.degrees()[last])])
+    _, nlv_e = bfs_levels(A, e)
+    assert nlv_e != nlv
     o = gps_ordering(A)
     assert is_permutation(o.perm, A.nrows)
