@@ -102,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-process count for --engine processes (default 4)",
     )
     parser.add_argument(
+        "--matrix",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "matrix spec for matrix-aware experiments (currently "
+            "'ingest'): 'zoo:<name>' streams a graph-zoo workload "
+            "(e.g. zoo:rmat18, zoo:road-2048), a bare name builds a "
+            "paper-suite surrogate"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -135,7 +146,17 @@ def main(argv: list[str] | None = None) -> int:
         for name in chosen:
             fn = EXPERIMENTS[name]
             kwargs = dict(scale=args.scale, quick=args.quick, names=args.matrices)
-            engine_aware = "engine" in inspect.signature(fn).parameters
+            signature = inspect.signature(fn).parameters
+            if "matrix" in signature:
+                if args.matrix is not None:
+                    kwargs["matrix"] = args.matrix
+            elif args.matrix is not None:
+                print(
+                    f"[{name}] note: --matrix ignored "
+                    "(experiment runs the paper suite)",
+                    file=sys.stderr,
+                )
+            engine_aware = "engine" in signature
             if engine_aware:
                 if args.engine is not None:
                     kwargs["engine"] = args.engine

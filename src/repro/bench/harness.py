@@ -1194,6 +1194,167 @@ def run_calibration(
     )
 
 
+# ----------------------------------------------------------------------
+# Ingestion — streamed sharded construction vs the monolithic path
+# ----------------------------------------------------------------------
+#: Child process of one ingest measurement.  A subprocess (not a fork)
+#: so ``resource.getrusage`` high-water marks start from a clean
+#: interpreter: ru_maxrss never decreases, so measuring both paths in
+#: one process would let the first path's peak mask the second's.
+_INGEST_CHILD = """
+import json, resource, sys, time
+
+spec, mode, pr, pc, scale = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), float(sys.argv[5])
+)
+from repro.distributed.context import DistContext
+from repro.distributed.distmatrix import DistSparseMatrix
+from repro.machine.grid import ProcessGrid
+from repro.machine.params import MachineParams
+from repro.matrices.zoo import resolve_matrix
+
+name, stream, entry = resolve_matrix(spec, scale=scale)
+ctx = DistContext(ProcessGrid(pr, pc), MachineParams(threads_per_process=1))
+kb = 1024 * 1024 if sys.platform == "darwin" else 1024  # ru_maxrss unit -> MB
+base_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / kb
+t0 = time.perf_counter()
+if mode == "streamed":
+    M = DistSparseMatrix.from_stream(ctx, stream, spill=True)
+elif mode == "monolithic":
+    if entry is not None:
+        A = entry.build()
+    else:
+        from repro.matrices.suite import PAPER_SUITE
+
+        A = PAPER_SUITE[name].build(scale)
+    M = DistSparseMatrix.from_csr(ctx, A)
+else:
+    raise ValueError(f"unknown ingest mode {mode!r}")
+seconds = time.perf_counter() - t0
+peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / kb - base_mb
+json.dump(
+    {
+        "name": name,
+        "mode": mode,
+        "seconds": seconds,
+        "peak_rss_mb": peak_mb,
+        "n": M.n,
+        "nnz": M.nnz,
+        "per_block_nnz": M.local_nnz(),
+    },
+    sys.stdout,
+)
+"""
+
+
+def measure_ingest(
+    matrix: str = "zoo:rmat18",
+    grid: tuple[int, int] = (2, 2),
+    scale: float = 1.0,
+    modes: tuple[str, ...] = ("streamed", "monolithic"),
+) -> dict[str, dict]:
+    """Construction wall time + peak-RSS delta per ingest mode.
+
+    Each mode runs in its own subprocess (see ``_INGEST_CHILD``); the
+    returned dicts carry ``seconds``, ``peak_rss_mb`` (high-water RSS
+    minus the post-import baseline), and ``per_block_nnz``.  When both
+    modes run, their per-block nnz are **enforced** identical — a
+    memory number for a wrong matrix is worthless.
+    """
+    import json
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    results: dict[str, dict] = {}
+    for mode in modes:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _INGEST_CHILD,
+                matrix,
+                mode,
+                str(grid[0]),
+                str(grid[1]),
+                repr(float(scale)),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"ingest child ({matrix}, {mode}) failed:\n{proc.stderr}"
+            )
+        results[mode] = json.loads(proc.stdout)
+    if "streamed" in results and "monolithic" in results:
+        if (
+            results["streamed"]["per_block_nnz"]
+            != results["monolithic"]["per_block_nnz"]
+        ):
+            raise AssertionError(
+                f"streamed ingest of {matrix} diverged from the monolithic "
+                "path (per-block nnz mismatch)"
+            )
+    return results
+
+
+def run_ingest(
+    scale: float = 1.0,
+    quick: bool = False,
+    names=None,
+    matrix: str | None = None,
+) -> ExperimentResult:
+    """Streamed sharded ingestion vs the monolithic construction path.
+
+    Builds the same distributed matrix twice — ``from_stream`` over the
+    chunked generator with spill-to-disk shards, and ``from_csr`` over
+    the monolithically assembled CSR — in separate subprocesses, and
+    reports wall seconds and peak-RSS-above-baseline for each.
+    Per-block nnz equality between the two paths is enforced.
+    """
+    spec = matrix or ("zoo:rmat16" if quick else "zoo:rmat18")
+    grid = (2, 2)
+    results = measure_ingest(spec, grid=grid, scale=scale)
+    s, m = results["streamed"], results["monolithic"]
+    rows = [
+        ["streamed", s["seconds"], s["peak_rss_mb"], s["nnz"]],
+        ["monolithic", m["seconds"], m["peak_rss_mb"], m["nnz"]],
+        [
+            "streamed/monolithic",
+            s["seconds"] / max(m["seconds"], 1e-300),
+            s["peak_rss_mb"] / max(m["peak_rss_mb"], 1e-300),
+            "",
+        ],
+    ]
+    return experiment_result(
+        "ingest",
+        f"Ingestion — streamed sharded vs monolithic construction "
+        f"({spec}, n={s['n']:,}, {grid[0]}x{grid[1]} grid; per-block nnz "
+        "bit-identical, enforced)",
+        [ResultTable(["path", "seconds", "peak RSS above baseline (MB)", "nnz"], rows)],
+        notes=[
+            "Expected shape: the streamed path's construction peak RSS sits "
+            "below 0.5x the monolithic path's — the monolithic pipeline holds "
+            "the edge list, the COO expansion, the global CSR, and the "
+            "partition scatter simultaneously, while from_stream holds one "
+            "chunk plus memmap shard buffers plus one block under "
+            "compression.  Streamed wall time may be moderately higher "
+            "(shard I/O); the memory headroom is what opens scale 20+ zoo "
+            "entries on a laptop.  RSS is measured per subprocess as the "
+            "getrusage high-water mark minus the post-import baseline."
+        ],
+        params=_params(scale, quick, names, matrix=spec, grid=list(grid)),
+    )
+
+
 def run_skyline(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
     """Extension — envelope Cholesky storage/flops under each ordering.
 
@@ -1249,6 +1410,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "balance-ablation": run_balance_ablation,
     "semiring-ablation": run_semiring_ablation,
     "skyline": run_skyline,
+    "ingest": run_ingest,
     "quality": run_quality,
     "calibration": run_calibration,
 }

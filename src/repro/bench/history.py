@@ -72,6 +72,9 @@ class MetricComparison:
     new_value: float | None = None
     ratio: float | None = None
     detail: str = ""
+    #: False for informational metrics (``"gate": false`` in the
+    #: snapshot): classified and trended normally, never a CI failure.
+    gates: bool = True
 
 
 def _is_legacy(doc: dict) -> bool:
@@ -236,9 +239,17 @@ def compare_docs(
             nm["direction"],
             tolerance,
         )
+        # a metric is informational unless BOTH sides declare it gating —
+        # host-environment-sensitive measurements (e.g. absolute peak RSS,
+        # which swings with THP/memory pressure) are trended, never gated
+        gates = bool(om.get("gate", True)) and bool(nm.get("gate", True))
         detail = "normalized by machine score" if (use_score and om.get("normalize")) else ""
+        if not gates:
+            detail = (detail + "; " if detail else "") + "informational (gate=false)"
         out.append(
-            MetricComparison(name, status, om["value"], nm["value"], ratio, detail)
+            MetricComparison(
+                name, status, om["value"], nm["value"], ratio, detail, gates
+            )
         )
     return out
 
@@ -248,7 +259,7 @@ def gate_failures(
 ) -> list[MetricComparison]:
     """The comparisons that should fail the CI gate."""
     bad = {"regressed"} if allow_missing else {"regressed", "missing"}
-    return [c for c in comparisons if c.status in bad]
+    return [c for c in comparisons if c.status in bad and c.gates]
 
 
 def format_comparison(comparisons: list[MetricComparison], tolerance: float) -> str:

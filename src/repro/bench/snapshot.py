@@ -21,7 +21,11 @@ one schema-versioned JSON document the history subsystem
   :func:`~repro.bench.harness.measure_direction_dist`);
 * **processes-engine calibration** — measured per-phase wall-clock and
   measured/modeled ratios of a real worker-pool run (the SpMSpV
-  per-phase times of EXPERIMENTS.md's Calibration section).
+  per-phase times of EXPERIMENTS.md's Calibration section);
+* **ingestion** — construction wall time and peak-RSS-above-baseline of
+  streamed sharded vs monolithic distributed construction of a graph-zoo
+  workload, each in its own subprocess, per-block nnz enforced identical
+  (:func:`~repro.bench.harness.measure_ingest`).
 
 Every wall-clock metric is paired with a **machine score** — the wall
 time of a fixed synthetic numpy workload measured in the same process —
@@ -84,6 +88,8 @@ class SnapshotConfig:
     direction_rmat_scale: int = 15
     direction_dist_matrix: str = "li7nmax6"
     direction_dist_ranks: int = 16
+    ingest_matrix: str = "zoo:rmat18"
+    ingest_grid: tuple[int, int] = (2, 2)
 
 
 #: The full protocol: the PR 1 matrix set at scale 1.0 with the per-rank
@@ -129,14 +135,27 @@ def machine_score(repeats: int = 5) -> float:
     return seconds
 
 
-def _metric(value, unit: str, direction: str, *, normalize: bool, scale: float) -> dict:
-    return {
+def _metric(
+    value,
+    unit: str,
+    direction: str,
+    *,
+    normalize: bool,
+    scale: float,
+    gate: bool = True,
+) -> dict:
+    m = {
         "value": float(value),
         "unit": unit,
         "direction": direction,
         "normalize": normalize,
         "params": {"scale": scale},
     }
+    if not gate:
+        # informational: trended by the history subsystem, never a CI
+        # failure (for host-environment-sensitive measurements)
+        m["gate"] = False
+    return m
 
 
 def collect_metrics(config: SnapshotConfig) -> dict[str, dict]:
@@ -260,6 +279,38 @@ def collect_metrics(config: SnapshotConfig) -> dict[str, dict]:
         best = ms if best is None else min(best, ms)
     metrics[f"direction.dist.{name}.ms_per_superstep.r{config.direction_dist_ranks}"] = (
         _metric(best, "ms", "lower", normalize=True, scale=scale)
+    )
+
+    # -------- ingestion: streamed sharded vs monolithic construction ----
+    # Both paths already run in fresh subprocesses (getrusage high-water
+    # marks demand it), which also gives each measurement a cold start —
+    # a single run per mode is the protocol, not best-of-N.  RSS metrics
+    # measure bytes, not host speed, so they skip score normalization;
+    # they also swing with host memory configuration (THP, allocator
+    # arenas), so they are informational (gate=false) — trended in the
+    # history, never a CI failure.
+    from .harness import measure_ingest
+
+    short = config.ingest_matrix.split(":")[-1]
+    ingest = measure_ingest(
+        config.ingest_matrix, grid=tuple(config.ingest_grid), scale=scale
+    )
+    for mode in ("streamed", "monolithic"):
+        r = ingest[mode]
+        metrics[f"ingest.{short}.{mode}.seconds"] = _metric(
+            r["seconds"], "s", "lower", normalize=True, scale=scale
+        )
+        metrics[f"ingest.{short}.{mode}.peak_rss_mb"] = _metric(
+            r["peak_rss_mb"], "MB", "lower", normalize=False, scale=scale, gate=False
+        )
+    metrics[f"ingest.{short}.rss_ratio"] = _metric(
+        ingest["streamed"]["peak_rss_mb"]
+        / max(ingest["monolithic"]["peak_rss_mb"], 1e-300),
+        "x",
+        "lower",
+        normalize=False,
+        scale=scale,
+        gate=False,
     )
 
     # -------- processes-engine calibration (per-phase SpMSpV times) -----
@@ -394,6 +445,8 @@ def validate_snapshot(doc) -> None:
             )
         if not isinstance(m.get("normalize"), bool):
             raise SchemaError(f"metric {name!r} missing boolean 'normalize'")
+        if not isinstance(m.get("gate", True), bool):
+            raise SchemaError(f"metric {name!r} 'gate' must be a boolean when present")
         if not isinstance(m.get("params"), dict):
             raise SchemaError(f"metric {name!r} missing object 'params'")
 

@@ -144,47 +144,142 @@ class DistSparseMatrix:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_csr(cls, ctx: DistContext, A: CSRMatrix) -> "DistSparseMatrix":
-        """Distribute a global CSR matrix onto the context's grid.
+    def from_stream(
+        cls,
+        ctx: DistContext,
+        stream,
+        spill: bool = False,
+        shard_entries: int = 1 << 18,
+    ) -> "DistSparseMatrix":
+        """Partition an edge stream onto the context's grid, one chunk at a time.
 
-        Partitioning is a vectorized scatter of the COO triples into the
-        ``pr x pc`` blocks, then a per-block CSC build with local indices.
+        The single partitioning code path (``from_csr`` wraps it): each
+        chunk of ``(rows, cols, vals)`` is binned into ``(block-row,
+        block-col)`` cells with a stable scatter, accumulated per block,
+        and each block's CSC is compressed once the stream is exhausted.
+        Because per-block accumulation preserves stream order and the
+        CSC build coalesces duplicates stably, the result is
+        bit-identical to distributing the monolithically assembled
+        matrix — per-block nnz, structure arrays, and every downstream
+        ordering/ledger — for any chunking of the same entries.
+
+        With ``spill=True`` the per-block accumulators are
+        :class:`~repro.sparse.stream.ShardedCOOBuilder` instances, so
+        peak memory is O(one chunk + shard buffers + one block under
+        compression + the finished blocks) instead of holding every
+        binned triple in RAM — the knob the scale-20+ zoo ingests use.
         """
-        if A.nrows != A.ncols:
+        from ..sparse.stream import ShardedCOOBuilder
+
+        if stream.nrows != stream.ncols:
             raise ValueError("distributed RCM operates on square matrices")
         grid = ctx.grid
-        n = A.nrows
+        n = int(stream.nrows)
         row_offsets = np.array(
             [grid.row_block(n, i)[0] for i in range(grid.pr)] + [n], dtype=np.int64
         )
         col_offsets = np.array(
             [grid.col_block(n, j)[0] for j in range(grid.pc)] + [n], dtype=np.int64
         )
-        coo = A.to_coo()
-        bi = np.searchsorted(row_offsets, coo.rows, side="right") - 1
-        bj = np.searchsorted(col_offsets, coo.cols, side="right") - 1
-        blocks: dict[tuple[int, int], CSCMatrix] = {}
-        key = bi * grid.pc + bj
-        order = np.argsort(key, kind="stable")
-        key_sorted = key[order]
-        bounds = np.searchsorted(
-            key_sorted, np.arange(grid.size + 1, dtype=np.int64)
-        )
-        for i in range(grid.pr):
-            rlo, rhi = row_offsets[i], row_offsets[i + 1]
-            for j in range(grid.pc):
-                clo, chi = col_offsets[j], col_offsets[j + 1]
-                r = grid.rank_of(i, j)
-                sel = order[bounds[r] : bounds[r + 1]]
-                block_coo = COOMatrix(
-                    int(rhi - rlo),
-                    int(chi - clo),
-                    coo.rows[sel] - rlo,
-                    coo.cols[sel] - clo,
-                    coo.vals[sel],
-                )
-                blocks[(i, j)] = CSCMatrix.from_coo(block_coo)
+        pieces: dict[tuple[int, int], list] = {
+            (i, j): [] for i in range(grid.pr) for j in range(grid.pc)
+        }
+        builders: dict[tuple[int, int], ShardedCOOBuilder] = {}
+        rank_arange = np.arange(grid.size + 1, dtype=np.int64)
+        try:
+            for rows, cols, vals in stream.chunks():
+                rows = np.ascontiguousarray(rows, dtype=np.int64)
+                cols = np.ascontiguousarray(cols, dtype=np.int64)
+                vals = np.ascontiguousarray(vals, dtype=np.float64)
+                if rows.size == 0:
+                    continue
+                if rows.min() < 0 or cols.min() < 0:
+                    raise ValueError("negative indices in edge chunk")
+                if rows.max() >= n or cols.max() >= n:
+                    raise ValueError("edge endpoint out of range")
+                bi = np.searchsorted(row_offsets, rows, side="right") - 1
+                bj = np.searchsorted(col_offsets, cols, side="right") - 1
+                key = bi * grid.pc + bj
+                order = np.argsort(key, kind="stable")
+                bounds = np.searchsorted(key[order], rank_arange)
+                for r in range(grid.size):
+                    sel = order[bounds[r] : bounds[r + 1]]
+                    if sel.size == 0:
+                        continue
+                    i, j = grid.coords(r)
+                    lr = rows[sel] - row_offsets[i]
+                    lc = cols[sel] - col_offsets[j]
+                    lv = vals[sel]
+                    if spill:
+                        b = builders.get((i, j))
+                        if b is None:
+                            b = builders[(i, j)] = ShardedCOOBuilder(
+                                int(row_offsets[i + 1] - row_offsets[i]),
+                                int(col_offsets[j + 1] - col_offsets[j]),
+                                shard_entries=shard_entries,
+                            )
+                        b.append(lr, lc, lv)
+                    else:
+                        pieces[(i, j)].append((lr, lc, lv))
+            blocks: dict[tuple[int, int], CSCMatrix] = {}
+            for i in range(grid.pr):
+                nr = int(row_offsets[i + 1] - row_offsets[i])
+                for j in range(grid.pc):
+                    nc = int(col_offsets[j + 1] - col_offsets[j])
+                    if spill:
+                        b = builders.pop((i, j), None)
+                        if b is None:
+                            blocks[(i, j)] = CSCMatrix.empty(nr, nc)
+                            continue
+                        # fill preallocated arrays from the shard stream:
+                        # one resident copy of the block, not chunks +
+                        # their concatenation side by side
+                        total = b.nnz
+                        br = np.empty(total, dtype=np.int64)
+                        bc = np.empty(total, dtype=np.int64)
+                        bv = np.empty(total, dtype=np.float64)
+                        pos = 0
+                        for sr, sc, sv in b.finalize().chunks():
+                            br[pos : pos + sr.size] = sr
+                            bc[pos : pos + sc.size] = sc
+                            bv[pos : pos + sv.size] = sv
+                            pos += sr.size
+                        block_coo = COOMatrix(nr, nc, br, bc, bv)
+                        b.close()  # free this block's shards before compressing
+                        del br, bc, bv
+                    else:
+                        cell = pieces.pop((i, j))
+                        if not cell:
+                            blocks[(i, j)] = CSCMatrix.empty(nr, nc)
+                            continue
+                        block_coo = COOMatrix(
+                            nr,
+                            nc,
+                            np.concatenate([p[0] for p in cell]),
+                            np.concatenate([p[1] for p in cell]),
+                            np.concatenate([p[2] for p in cell]),
+                        )
+                        del cell
+                    blocks[(i, j)] = CSCMatrix.from_coo(block_coo)
+                    del block_coo
+        finally:
+            for b in builders.values():
+                b.close()
         return cls(ctx, n, blocks, row_offsets, col_offsets)
+
+    @classmethod
+    def from_csr(cls, ctx: DistContext, A: CSRMatrix) -> "DistSparseMatrix":
+        """Distribute a global CSR matrix onto the context's grid.
+
+        Thin wrapper over :meth:`from_stream` — the monolithic matrix is
+        exposed as an in-memory :class:`~repro.sparse.stream.ArrayEdgeStream`
+        so there is exactly one partitioning implementation.
+        """
+        from ..sparse.stream import ArrayEdgeStream
+
+        if A.nrows != A.ncols:
+            raise ValueError("distributed RCM operates on square matrices")
+        return cls.from_stream(ctx, ArrayEdgeStream.from_coo(A.to_coo()))
 
     # ------------------------------------------------------------------
     def block(self, i: int, j: int) -> CSCMatrix:

@@ -227,7 +227,13 @@ def rcm_distributed(
     Parameters
     ----------
     A:
-        Square structurally-symmetric sparse matrix.
+        Square structurally-symmetric sparse matrix, either a global
+        :class:`CSRMatrix` (distributed internally) or an
+        already-distributed :class:`DistSparseMatrix` — the form the
+        streamed ingest path (``DistSparseMatrix.from_stream``) hands
+        over, where no global CSR ever exists.  A pre-distributed
+        matrix brings its own context, so ``ctx``/``engine``/``procs``/
+        ``random_permute`` must not conflict with it.
     nprocs:
         Number of SPMD ranks (must form a square grid).
     machine:
@@ -268,14 +274,37 @@ def rcm_distributed(
         the Beamer-style per-level switch.  The ordering is bit-identical
         for every choice, on every engine and driver.
     """
-    if A.nrows != A.ncols:
-        raise ValueError("RCM requires a square (symmetric) matrix")
-    n = A.nrows
+    # A pre-distributed matrix (e.g. streamed in via ``from_stream``)
+    # runs as-is on its own context — no global CSR ever exists, which
+    # is the point of the sharded ingest path.
+    predistributed = isinstance(A, DistSparseMatrix)
+    if predistributed:
+        if ctx is not None and ctx is not A.ctx:
+            raise ValueError("ctx= conflicts with the matrix's own context")
+        if random_permute is not None:
+            raise ValueError(
+                "random_permute requires a global CSR; relabel the stream "
+                "before distribution instead"
+            )
+        if procs is not None:
+            raise ValueError("procs= conflicts with a pre-distributed matrix")
+        if engine != "simulated" and engine != A.ctx.engine_name:
+            raise ValueError(
+                f"engine={engine!r} conflicts with the matrix's "
+                f"{A.ctx.engine_name!r} context"
+            )
+        ctx = A.ctx
+        n = A.n
+        relabel = None
+    else:
+        if A.nrows != A.ncols:
+            raise ValueError("RCM requires a square (symmetric) matrix")
+        n = A.nrows
 
-    relabel: np.ndarray | None = None
-    A_run = A
-    if random_permute is not None:
-        A_run, relabel = random_symmetric_permutation(A, random_permute)
+        relabel = None
+        A_run = A
+        if random_permute is not None:
+            A_run, relabel = random_symmetric_permutation(A, random_permute)
 
     owns_ctx = ctx is None
     if ctx is None:
@@ -297,7 +326,7 @@ def rcm_distributed(
             )
     dA = None
     try:
-        dA = DistSparseMatrix.from_csr(ctx, A_run)
+        dA = A if predistributed else DistSparseMatrix.from_csr(ctx, A_run)
         degrees = dA.degrees()
 
         R = DistDenseVector.full(ctx, n, -1.0)
@@ -335,7 +364,9 @@ def rcm_distributed(
         # blocks so shared pools don't accumulate one payload per call
         if owns_ctx:
             ctx.close()
-        elif dA is not None:
+        elif dA is not None and not predistributed:
+            # a caller-provided pre-distributed matrix stays resident
+            # (the caller may reuse it); releasing is their call
             dA.release_resident()
 
     labels = R.to_global().astype(np.int64)

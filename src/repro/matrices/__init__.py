@@ -1,15 +1,23 @@
-"""Matrix/graph generators: stencil meshes, random graphs, paper suite."""
+"""Matrix/graph generators: stencil meshes, random graphs, paper suite, zoo."""
 
 from .random_graphs import (
+    bipartite_product,
+    bipartite_product_chunks,
     block_overlap_graph,
     disconnected_union,
     erdos_renyi,
+    erdos_renyi_chunks,
     random_banded,
+    random_banded_chunks,
     random_geometric,
     rmat,
+    rmat_chunks,
+    road_mesh,
+    road_mesh_chunks,
 )
 from .stencil import grid_graph_edges, path_graph, stencil_2d, stencil_3d
 from .suite import PAPER_SUITE, PaperStats, SuiteEntry, build_suite, thermal2_like
+from .zoo import GRAPH_ZOO, ZooEntry, resolve_matrix, zoo_entry
 
 __all__ = [
     "stencil_2d",
@@ -17,8 +25,15 @@ __all__ = [
     "path_graph",
     "grid_graph_edges",
     "erdos_renyi",
+    "erdos_renyi_chunks",
     "random_banded",
+    "random_banded_chunks",
     "rmat",
+    "rmat_chunks",
+    "road_mesh",
+    "road_mesh_chunks",
+    "bipartite_product",
+    "bipartite_product_chunks",
     "block_overlap_graph",
     "random_geometric",
     "disconnected_union",
@@ -27,4 +42,8 @@ __all__ = [
     "SuiteEntry",
     "build_suite",
     "thermal2_like",
+    "GRAPH_ZOO",
+    "ZooEntry",
+    "zoo_entry",
+    "resolve_matrix",
 ]

@@ -5,9 +5,21 @@ high-diameter meshes (:mod:`repro.matrices.stencil`) and the low-diameter
 heavy matrices of the paper (nuclear CI problems, whose pseudo-diameters
 are 5-7).  These generators cover the low-diameter and irregular regimes,
 plus utility graphs for property tests.
+
+The random families are **chunk-native**: each ``*_chunks`` generator
+yields ``(k, 2)`` int64 edge batches drawn block-by-block, with every
+fixed-size block seeded independently (``default_rng([seed, block])``),
+so the edge set depends only on the parameters — never on how the
+batches are consumed — and a scale-24 graph can be streamed into
+:meth:`DistSparseMatrix.from_stream` without the edge list ever existing
+whole.  The monolithic functions (``rmat``, ``erdos_renyi``, ...) are
+thin wrappers that concatenate their own chunks: one generation code
+path, so streamed and monolithic construction see identical edges.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import numpy as np
 
@@ -16,44 +28,134 @@ from ..sparse.csr import CSRMatrix
 
 __all__ = [
     "erdos_renyi",
+    "erdos_renyi_chunks",
     "random_banded",
+    "random_banded_chunks",
     "rmat",
+    "rmat_chunks",
+    "road_mesh",
+    "road_mesh_chunks",
+    "bipartite_product",
+    "bipartite_product_chunks",
     "block_overlap_graph",
     "random_geometric",
     "disconnected_union",
 ]
 
+#: Fixed drawing-block size (edges per independently seeded block).  A
+#: constant — NOT a tuning knob — because the RNG consumption per block
+#: defines the graph; resizing it would change every generated edge set.
+GENERATOR_BLOCK_EDGES = 1 << 16
+
+
+def _edge_blocks(m: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(block_index, edges_in_block)`` covering ``m`` edges."""
+    block = 0
+    remaining = int(m)
+    while remaining > 0:
+        count = min(remaining, GENERATOR_BLOCK_EDGES)
+        yield block, count
+        block += 1
+        remaining -= count
+
+
+def _block_rng(seed: int, block: int) -> np.random.Generator:
+    return np.random.default_rng([seed, block])
+
+
+def _assemble(n: int, chunks: Iterator[np.ndarray]) -> CSRMatrix:
+    """Monolithic wrapper: concatenate a generator's chunks into a CSR."""
+    parts = [np.asarray(c, dtype=np.int64).reshape(-1, 2) for c in chunks]
+    if parts:
+        edges = np.concatenate(parts)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+
+
+# ----------------------------------------------------------------------
+# Erdos-Renyi
+# ----------------------------------------------------------------------
+def erdos_renyi_chunks(n: int, avg_degree: float, seed: int = 0) -> Iterator[np.ndarray]:
+    """Edge batches of :func:`erdos_renyi` (same parameters, same graph)."""
+    m = int(n * avg_degree / 2)
+    for block, count in _edge_blocks(m):
+        rng = _block_rng(seed, block)
+        u = rng.integers(0, n, size=count, dtype=np.int64)
+        v = rng.integers(0, n, size=count, dtype=np.int64)
+        keep = u != v
+        yield np.column_stack([u[keep], v[keep]])
+
 
 def erdos_renyi(n: int, avg_degree: float, seed: int = 0) -> CSRMatrix:
     """G(n, m) random graph with ``m ~ n * avg_degree / 2`` edges."""
-    rng = np.random.default_rng(seed)
+    return _assemble(n, erdos_renyi_chunks(n, avg_degree, seed))
+
+
+# ----------------------------------------------------------------------
+# Random banded
+# ----------------------------------------------------------------------
+def random_banded_chunks(
+    n: int, band: int, avg_degree: float, seed: int = 0
+) -> Iterator[np.ndarray]:
+    """Edge batches of :func:`random_banded` (same parameters, same graph)."""
     m = int(n * avg_degree / 2)
-    u = rng.integers(0, n, size=m, dtype=np.int64)
-    v = rng.integers(0, n, size=m, dtype=np.int64)
-    keep = u != v
-    edges = np.column_stack([u[keep], v[keep]])
-    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+    for block, count in _edge_blocks(m):
+        rng = _block_rng(seed, block)
+        u = rng.integers(0, n, size=count, dtype=np.int64)
+        d = rng.integers(1, band + 1, size=count, dtype=np.int64)
+        v = np.minimum(u + d, n - 1)
+        keep = u != v
+        yield np.column_stack([u[keep], v[keep]])
+    # the connecting chain along the diagonal, emitted in bounded strips
+    for lo in range(0, n - 1, GENERATOR_BLOCK_EDGES):
+        hi = min(lo + GENERATOR_BLOCK_EDGES, n - 1)
+        i = np.arange(lo, hi, dtype=np.int64)
+        yield np.column_stack([i, i + 1])
 
 
 def random_banded(n: int, band: int, avg_degree: float, seed: int = 0) -> CSRMatrix:
     """Random graph whose edges stay within ``band`` of the diagonal.
 
     Natural-bandwidth ~ ``band``; RCM typically tightens it further.
-    Mimics matrices that are already nearly ordered.
+    Mimics matrices that are already nearly ordered.  A chain along the
+    diagonal guarantees connectivity.
     """
-    rng = np.random.default_rng(seed)
-    m = int(n * avg_degree / 2)
-    u = rng.integers(0, n, size=m, dtype=np.int64)
-    d = rng.integers(1, band + 1, size=m, dtype=np.int64)
-    v = np.minimum(u + d, n - 1)
-    keep = u != v
-    edges = np.column_stack([u[keep], v[keep]])
-    # make sure the graph is connected along the diagonal
-    chain = np.column_stack(
-        [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)]
-    )
-    edges = np.concatenate([edges, chain])
-    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+    return _assemble(n, random_banded_chunks(n, band, avg_degree, seed))
+
+
+# ----------------------------------------------------------------------
+# RMAT
+# ----------------------------------------------------------------------
+def rmat_chunks(
+    scale: int,
+    edge_factor: int = 8,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> Iterator[np.ndarray]:
+    """Edge batches of :func:`rmat` (same parameters, same graph)."""
+    n = 1 << scale
+    m = n * edge_factor
+    for block, count in _edge_blocks(m):
+        rng = _block_rng(seed, block)
+        u = np.zeros(count, dtype=np.int64)
+        v = np.zeros(count, dtype=np.int64)
+        for _ in range(scale):
+            r1 = rng.random(count)
+            r2 = rng.random(count)
+            u <<= 1
+            v <<= 1
+            # quadrant probabilities (a, b, c, d)
+            right = r1 >= a + b
+            down = np.where(
+                right, r2 >= c / max(1 - a - b, 1e-12), r2 >= a / (a + b)
+            )
+            u += right.astype(np.int64)
+            v += down.astype(np.int64)
+        keep = u != v
+        yield np.column_stack([u[keep], v[keep]])
 
 
 def rmat(scale: int, edge_factor: int = 8, seed: int = 0,
@@ -64,28 +166,121 @@ def rmat(scale: int, edge_factor: int = 8, seed: int = 0,
     Graph500 benchmark"; this generator provides that regime for the
     BFS-oriented tests and ablations.
     """
-    rng = np.random.default_rng(seed)
-    n = 1 << scale
-    m = n * edge_factor
-    u = np.zeros(m, dtype=np.int64)
-    v = np.zeros(m, dtype=np.int64)
-    for _ in range(scale):
-        r1 = rng.random(m)
-        r2 = rng.random(m)
-        u <<= 1
-        v <<= 1
-        # quadrant probabilities (a, b, c, d)
-        right = r1 >= a + b
-        down = np.where(
-            right, r2 >= c / max(1 - a - b, 1e-12), r2 >= a / (a + b)
-        )
-        u += right.astype(np.int64)
-        v += down.astype(np.int64)
-    keep = u != v
-    edges = np.column_stack([u[keep], v[keep]])
-    return CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+    return _assemble(1 << scale, rmat_chunks(scale, edge_factor, seed, a, b, c))
 
 
+# ----------------------------------------------------------------------
+# Road-style mesh (high diameter, slightly irregular)
+# ----------------------------------------------------------------------
+def road_mesh_chunks(
+    nx: int,
+    ny: int,
+    seed: int = 0,
+    drop_fraction: float = 0.25,
+) -> Iterator[np.ndarray]:
+    """Edge batches of :func:`road_mesh` (same parameters, same graph).
+
+    Chunking is by horizontal row strips of the grid; each strip is an
+    independently seeded block, so the mesh streams top-to-bottom.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("road_mesh needs nx >= 1 and ny >= 1")
+    n = nx * ny
+    rows_per_strip = max(GENERATOR_BLOCK_EDGES // max(2 * ny, 1), 1)
+    reach = 3 * ny  # ramps jump a few rows, never across the map
+    for strip, r0 in enumerate(range(0, nx, rows_per_strip)):
+        r1 = min(r0 + rows_per_strip, nx)
+        rng = _block_rng(seed, strip)
+        parts = []
+        # streets: every within-row edge is kept (rows stay connected)
+        i = np.repeat(np.arange(r0, r1, dtype=np.int64), max(ny - 1, 0))
+        j = np.tile(np.arange(ny - 1, dtype=np.int64), r1 - r0)
+        if i.size:
+            parts.append(np.column_stack([i * ny + j, i * ny + j + 1]))
+        # avenues: row-to-row edges thinned by drop_fraction, except the
+        # first column which is always kept (global connectivity)
+        v_hi = min(r1, nx - 1)
+        if v_hi > r0:
+            iv = np.repeat(np.arange(r0, v_hi, dtype=np.int64), ny)
+            jv = np.tile(np.arange(ny, dtype=np.int64), v_hi - r0)
+            keep = (rng.random(iv.size) >= drop_fraction) | (jv == 0)
+            iv, jv = iv[keep], jv[keep]
+            parts.append(np.column_stack([iv * ny + jv, (iv + 1) * ny + jv]))
+        # ramps: sparse local shortcuts (irregularity without collapsing
+        # the diameter — a road network, not a social network)
+        nramps = max((r1 - r0) * ny // 512, 1)
+        base = rng.integers(r0 * ny, r1 * ny, size=nramps, dtype=np.int64)
+        hop = rng.integers(-reach, reach + 1, size=nramps, dtype=np.int64)
+        target = np.clip(base + hop, 0, n - 1)
+        keep = base != target
+        parts.append(np.column_stack([base[keep], target[keep]]))
+        yield np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+
+
+def road_mesh(nx: int, ny: int, seed: int = 0, drop_fraction: float = 0.25) -> CSRMatrix:
+    """Road-network-style mesh: high diameter, mildly irregular degrees.
+
+    An ``nx x ny`` grid where every within-row edge exists, a fraction of
+    row-to-row edges is removed (except one spine column, so the graph
+    stays connected), and sparse local "ramps" jump a few rows.  The
+    diameter stays O(nx + ny) — the regime where direction-optimizing
+    BFS must *not* switch to pull, the opposite pole from RMAT.
+    """
+    return _assemble(nx * ny, road_mesh_chunks(nx, ny, seed, drop_fraction))
+
+
+# ----------------------------------------------------------------------
+# Bipartite A.A^T product graph
+# ----------------------------------------------------------------------
+def bipartite_product_chunks(
+    n_left: int,
+    n_right: int,
+    max_members: int = 4,
+    seed: int = 0,
+) -> Iterator[np.ndarray]:
+    """Edge batches of :func:`bipartite_product` (same parameters, same graph).
+
+    Chunking is by batches of right-side vertices (the columns of the
+    rectangular incidence matrix); each batch yields its clique edges.
+    """
+    if max_members < 2:
+        raise ValueError("max_members must be >= 2")
+    iu, ju = np.triu_indices(max_members, k=1)
+    pairs_per_col = iu.size
+    cols_per_block = max(GENERATOR_BLOCK_EDGES // max(pairs_per_col, 1), 1)
+    for block, c0 in enumerate(range(0, n_right, cols_per_block)):
+        ncols = min(c0 + cols_per_block, n_right) - c0
+        rng = _block_rng(seed, block)
+        members = rng.integers(0, n_left, size=(ncols, max_members), dtype=np.int64)
+        k = rng.integers(2, max_members + 1, size=ncols, dtype=np.int64)
+        # a pair (iu, ju) of column c is real iff both slots are < k[c]
+        valid = ju[None, :] < k[:, None]
+        u = members[:, iu][valid]
+        v = members[:, ju][valid]
+        keep = u != v
+        yield np.column_stack([u[keep], v[keep]])
+
+
+def bipartite_product(
+    n_left: int, n_right: int, max_members: int = 4, seed: int = 0
+) -> CSRMatrix:
+    """The A.A^T graph of a random ``n_left x n_right`` bipartite incidence.
+
+    Each right vertex (hyperedge/"column") touches 2..``max_members``
+    random left vertices; two left vertices are adjacent iff they share a
+    column — exactly the sparsity pattern of ``A @ A.T`` without forming
+    the product.  Rectangular inputs enter the symmetric RCM pipeline
+    this way (paper's bipartite workloads); the result has ``n_left``
+    vertices.
+    """
+    return _assemble(
+        n_left, bipartite_product_chunks(n_left, n_right, max_members, seed)
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured utility graphs (not chunk-native: small/test-only regimes)
+# ----------------------------------------------------------------------
 def block_overlap_graph(
     nblocks: int, block_size: int, overlap: int, seed: int = 0
 ) -> CSRMatrix:

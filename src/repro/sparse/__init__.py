@@ -8,7 +8,12 @@ paper's CombBLAS substrate does.
 from .coo import COOMatrix
 from .csc import CSCMatrix
 from .csr import CSRMatrix
-from .io import read_matrix_market, write_matrix_market
+from .io import (
+    iter_matrix_market_chunks,
+    read_matrix_market,
+    stream_matrix_market,
+    write_matrix_market,
+)
 from .permute import (
     compose_permutations,
     invert_permutation,
@@ -17,6 +22,13 @@ from .permute import (
     random_symmetric_permutation,
 )
 from .spvector import SparseVector
+from .stream import (
+    ArrayEdgeStream,
+    EdgeStream,
+    ShardedCOOBuilder,
+    ShardedEdgeStream,
+    UndirectedEdgeStream,
+)
 from .symmetry import is_structurally_symmetric, strip_to_pattern, symmetrize
 
 __all__ = [
@@ -24,7 +36,14 @@ __all__ = [
     "CSRMatrix",
     "CSCMatrix",
     "SparseVector",
+    "EdgeStream",
+    "ArrayEdgeStream",
+    "UndirectedEdgeStream",
+    "ShardedCOOBuilder",
+    "ShardedEdgeStream",
     "read_matrix_market",
+    "iter_matrix_market_chunks",
+    "stream_matrix_market",
     "write_matrix_market",
     "is_permutation",
     "invert_permutation",

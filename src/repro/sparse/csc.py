@@ -60,13 +60,33 @@ class CSCMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
-        """Convert from COO, coalescing duplicates and sorting rows."""
-        coo = coo.coalesce()
-        order = np.lexsort((coo.rows, coo.cols))
-        cols = coo.cols[order]
-        counts = np.bincount(cols, minlength=coo.ncols).astype(np.int64)
+        """Convert from COO, coalescing duplicates and sorting rows.
+
+        One stable column-major sort does both jobs: duplicates land
+        adjacent (and sum in original entry order, like ``coalesce``)
+        and the unique entries come out already in CSC order — the
+        same result as coalesce-then-lexsort at roughly half the
+        transient memory, which is what bounds the per-block peak of
+        ``DistSparseMatrix.from_stream``.
+        """
+        if coo.nnz == 0:
+            return cls.empty(coo.nrows, coo.ncols)
+        key = coo.cols * np.int64(coo.nrows) + coo.rows
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        vals_sorted = coo.vals[order]
+        del key, order
+        boundary = np.empty(key_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+        group_ids = np.cumsum(boundary) - 1
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, vals_sorted)
+        del group_ids, vals_sorted
+        uniq = key_sorted[boundary]
+        counts = np.bincount(uniq // coo.nrows, minlength=coo.ncols).astype(np.int64)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return cls(coo.nrows, coo.ncols, indptr, coo.rows[order], coo.vals[order])
+        return cls(coo.nrows, coo.ncols, indptr, uniq % coo.nrows, summed)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":

@@ -59,13 +59,42 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
-        """Convert from COO, coalescing duplicates and sorting columns."""
-        coo = coo.coalesce()
-        order = np.lexsort((coo.cols, coo.rows))
-        rows = coo.rows[order]
-        counts = np.bincount(rows, minlength=coo.nrows).astype(np.int64)
+        """Convert from COO, coalescing duplicates and sorting columns.
+
+        One stable row-major sort does both jobs: duplicates land
+        adjacent (and sum in original entry order, like ``coalesce``)
+        and the unique entries come out already in CSR order — the
+        same result as coalesce-then-lexsort at roughly half the
+        transient memory.
+        """
+        if coo.nnz == 0:
+            return cls.empty(coo.nrows, coo.ncols)
+        key = coo.rows * np.int64(coo.ncols) + coo.cols
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        vals_sorted = coo.vals[order]
+        del key, order
+        boundary = np.empty(key_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+        group_ids = np.cumsum(boundary) - 1
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, vals_sorted)
+        del group_ids, vals_sorted
+        uniq = key_sorted[boundary]
+        counts = np.bincount(uniq // coo.ncols, minlength=coo.nrows).astype(np.int64)
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        return cls(coo.nrows, coo.ncols, indptr, coo.cols[order], coo.vals[order])
+        return cls(coo.nrows, coo.ncols, indptr, uniq % coo.ncols, summed)
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int) -> "CSRMatrix":
+        return cls(
+            nrows,
+            ncols,
+            np.zeros(nrows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":

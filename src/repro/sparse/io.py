@@ -6,21 +6,47 @@ collection files when they have them, and round-trips the synthetic
 surrogates in :mod:`repro.matrices.suite`.
 
 Supported: ``matrix coordinate {real,integer,pattern} {general,symmetric}``.
+
+Parsing is **chunked**: :func:`iter_matrix_market_chunks` reads fixed-size
+line batches, parses each batch with an exact ``int64`` index path (no
+float round-trip, so indices beyond 2**53 survive), and performs
+symmetric expansion *per chunk* — each off-diagonal entry is mirrored
+inside the chunk that read it, instead of concatenating two full-matrix
+arrays at the end.  :func:`read_matrix_market` is a thin wrapper that
+assembles the chunks into one :class:`COOMatrix`; out-of-core consumers
+use :func:`stream_matrix_market`, whose :class:`EdgeStream` feeds
+``DistSparseMatrix.from_stream`` directly so the full matrix never
+exists in one address space.
 """
 
 from __future__ import annotations
 
-import io
 import os
-from typing import TextIO
+from itertools import islice
+from typing import Iterator, TextIO
 
 import numpy as np
 
 from .coo import COOMatrix
+from .stream import Chunk
 
-__all__ = ["read_matrix_market", "write_matrix_market"]
+__all__ = [
+    "read_matrix_market",
+    "iter_matrix_market_chunks",
+    "stream_matrix_market",
+    "MatrixMarketStream",
+    "write_matrix_market",
+]
 
 _HEADER_PREFIX = "%%MatrixMarket"
+
+#: Default entries parsed per chunk (a few MB of text per batch).
+DEFAULT_IO_CHUNK = 1 << 16
+
+#: Structured parse dtypes: indices go straight to int64 (exact for the
+#: full index range — a float64 detour would corrupt indices > 2**53).
+_ENTRY_DTYPE = np.dtype([("r", "<i8"), ("c", "<i8"), ("v", "<f8")])
+_PATTERN_DTYPE = np.dtype([("r", "<i8"), ("c", "<i8")])
 
 
 def _open_maybe(path_or_file, mode: str) -> tuple[TextIO, bool]:
@@ -29,68 +55,171 @@ def _open_maybe(path_or_file, mode: str) -> tuple[TextIO, bool]:
     return path_or_file, False
 
 
-def read_matrix_market(path_or_file) -> COOMatrix:
+def _parse_header(fh) -> tuple[int, int, int, str, str]:
+    """Parse banner + size line; returns (nrows, ncols, nnz, field, symmetry)."""
+    header = fh.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise ValueError("not a MatrixMarket file (bad banner)")
+    parts = header.strip().split()
+    if len(parts) < 5:
+        raise ValueError(f"malformed MatrixMarket banner: {header!r}")
+    _, obj, fmt, field, symmetry = parts[:5]
+    obj, fmt = obj.lower(), fmt.lower()
+    field, symmetry = field.lower(), symmetry.lower()
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket type: {obj} {fmt}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field type: {field}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry: {symmetry}")
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    dims = line.split()
+    if len(dims) != 3:
+        raise ValueError(f"malformed size line: {line!r}")
+    nrows, ncols, nnz = (int(x) for x in dims)
+    return nrows, ncols, nnz, field, symmetry
+
+
+def _parse_batch(batch: list[str], field: str) -> Chunk:
+    """Parse one batch of entry lines into 0-based ``(rows, cols, vals)``."""
+    try:
+        if field == "pattern":
+            table = np.loadtxt(batch, dtype=_PATTERN_DTYPE, ndmin=1)
+            vals = np.ones(table.size, dtype=np.float64)
+        else:
+            table = np.loadtxt(batch, dtype=_ENTRY_DTYPE, ndmin=1)
+            vals = np.ascontiguousarray(table["v"])
+    except ValueError as exc:
+        if field != "pattern" and "columns" in str(exc):
+            raise ValueError("real/integer file missing value column") from exc
+        raise ValueError(f"malformed MatrixMarket entry line: {exc}") from exc
+    rows = np.ascontiguousarray(table["r"]) - 1
+    cols = np.ascontiguousarray(table["c"]) - 1
+    return rows, cols, vals
+
+
+def _entry_chunks(
+    fh, nnz: int, field: str, symmetry: str, chunk_entries: int
+) -> Iterator[Chunk]:
+    """Yield parsed (and per-chunk symmetric-expanded) entry chunks."""
+    lines = (s for s in (line.strip() for line in fh) if s)
+    seen = 0
+    while True:
+        batch = list(islice(lines, chunk_entries))
+        if not batch:
+            break
+        rows, cols, vals = _parse_batch(batch, field)
+        seen += rows.size
+        if seen > nnz:
+            raise ValueError(f"expected {nnz} entries, found at least {seen}")
+        if symmetry == "symmetric":
+            # mirror this chunk's off-diagonal entries in place of the
+            # old whole-matrix concatenation: parse-time memory stays
+            # O(chunk), not O(2 * nnz)
+            off = rows != cols
+            mrows, mcols, mvals = cols[off], rows[off], vals[off]
+            rows = np.concatenate([rows, mrows])
+            cols = np.concatenate([cols, mcols])
+            vals = np.concatenate([vals, mvals])
+        yield rows, cols, vals
+    if seen != nnz:
+        raise ValueError(f"expected {nnz} entries, found {seen}")
+
+
+def iter_matrix_market_chunks(
+    path_or_file, chunk_entries: int = DEFAULT_IO_CHUNK
+) -> tuple[tuple[int, int], Iterator[Chunk]]:
+    """Chunked Matrix Market reader.
+
+    Returns ``((nrows, ncols), chunks)`` where ``chunks`` yields 0-based
+    ``(rows, cols, vals)`` triples of at most ``chunk_entries`` parsed
+    entries each (up to 2x that after per-chunk symmetric expansion).
+    The file handle is closed (if this function opened it) when the
+    iterator is exhausted or garbage-collected.
+    """
+    if chunk_entries < 1:
+        raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
+    fh, should_close = _open_maybe(path_or_file, "r")
+    try:
+        nrows, ncols, nnz, field, symmetry = _parse_header(fh)
+    except Exception:
+        if should_close:
+            fh.close()
+        raise
+
+    def generate() -> Iterator[Chunk]:
+        try:
+            if nnz:
+                yield from _entry_chunks(fh, nnz, field, symmetry, chunk_entries)
+            elif fh.read().strip():
+                raise ValueError("expected 0 entries, found trailing data")
+        finally:
+            if should_close:
+                fh.close()
+
+    return (nrows, ncols), generate()
+
+
+class MatrixMarketStream:
+    """A re-iterable :class:`~repro.sparse.stream.EdgeStream` over a file path.
+
+    Feed it to ``DistSparseMatrix.from_stream`` to partition a Matrix
+    Market file onto the grid without ever materializing the global
+    matrix.  Each ``chunks()`` call reopens and re-parses the file, so
+    only paths (not already-open handles) are accepted.
+    """
+
+    __slots__ = ("path", "nrows", "ncols", "chunk_entries")
+
+    def __init__(self, path, chunk_entries: int = DEFAULT_IO_CHUNK) -> None:
+        if not isinstance(path, (str, os.PathLike)):
+            raise TypeError(
+                "MatrixMarketStream needs a re-openable path; use "
+                "iter_matrix_market_chunks for one-shot file objects"
+            )
+        self.path = path
+        self.chunk_entries = int(chunk_entries)
+        if chunk_entries < 1:
+            raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
+        with open(path, "r") as fh:  # validate the header once, up front
+            self.nrows, self.ncols, _, _, _ = _parse_header(fh)
+
+    def chunks(self) -> Iterator[Chunk]:
+        _, chunks = iter_matrix_market_chunks(self.path, self.chunk_entries)
+        return chunks
+
+
+def stream_matrix_market(path, chunk_entries: int = DEFAULT_IO_CHUNK) -> MatrixMarketStream:
+    """Open a Matrix Market file as a re-iterable edge stream."""
+    return MatrixMarketStream(path, chunk_entries)
+
+
+def read_matrix_market(path_or_file, chunk_entries: int = DEFAULT_IO_CHUNK) -> COOMatrix:
     """Read a Matrix Market coordinate file into a :class:`COOMatrix`.
 
     ``symmetric`` files are expanded (each off-diagonal entry mirrored), so
     the returned matrix is structurally symmetric and directly usable as an
-    adjacency matrix.
+    adjacency matrix.  Thin wrapper over the chunked reader: expansion
+    happens per parsed chunk, and this function's only monolithic step is
+    the final concatenation into the returned COO.
     """
-    fh, should_close = _open_maybe(path_or_file, "r")
-    try:
-        header = fh.readline()
-        if not header.startswith(_HEADER_PREFIX):
-            raise ValueError("not a MatrixMarket file (bad banner)")
-        parts = header.strip().split()
-        if len(parts) < 5:
-            raise ValueError(f"malformed MatrixMarket banner: {header!r}")
-        _, obj, fmt, field, symmetry = parts[:5]
-        obj, fmt = obj.lower(), fmt.lower()
-        field, symmetry = field.lower(), symmetry.lower()
-        if obj != "matrix" or fmt != "coordinate":
-            raise ValueError(f"unsupported MatrixMarket type: {obj} {fmt}")
-        if field not in ("real", "integer", "pattern"):
-            raise ValueError(f"unsupported field type: {field}")
-        if symmetry not in ("general", "symmetric"):
-            raise ValueError(f"unsupported symmetry: {symmetry}")
-
-        line = fh.readline()
-        while line.startswith("%"):
-            line = fh.readline()
-        dims = line.split()
-        if len(dims) != 3:
-            raise ValueError(f"malformed size line: {line!r}")
-        nrows, ncols, nnz = (int(x) for x in dims)
-
-        body = fh.read()
-    finally:
-        if should_close:
-            fh.close()
-
-    if nnz == 0:
+    (nrows, ncols), chunks = iter_matrix_market_chunks(path_or_file, chunk_entries)
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for rows, cols, vals in chunks:
+        rows_parts.append(rows)
+        cols_parts.append(cols)
+        vals_parts.append(vals)
+    if not rows_parts:
         return COOMatrix.empty(nrows, ncols)
-
-    table = np.loadtxt(io.StringIO(body), ndmin=2)
-    if table.shape[0] != nnz:
-        raise ValueError(f"expected {nnz} entries, found {table.shape[0]}")
-    rows = table[:, 0].astype(np.int64) - 1
-    cols = table[:, 1].astype(np.int64) - 1
-    if field == "pattern":
-        vals = np.ones(nnz, dtype=np.float64)
-    else:
-        if table.shape[1] < 3:
-            raise ValueError("real/integer file missing value column")
-        vals = table[:, 2].astype(np.float64)
-
-    if symmetry == "symmetric":
-        off = rows != cols
-        rows, cols = (
-            np.concatenate([rows, cols[off]]),
-            np.concatenate([cols, rows[off]]),
-        )
-        vals = np.concatenate([vals, vals[off]])
-
-    return COOMatrix(nrows, ncols, rows, cols, vals)
+    return COOMatrix(
+        nrows,
+        ncols,
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+    )
 
 
 def write_matrix_market(

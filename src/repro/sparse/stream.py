@@ -1,0 +1,332 @@
+"""Chunked edge streams: the out-of-core ingestion substrate.
+
+Everything upstream of :class:`repro.distributed.distmatrix.DistSparseMatrix`
+used to materialize a full COO/CSR in one address space before the 2D
+block distribution ever saw an entry — peak memory ~3x the matrix.  This
+module defines the alternative contract every construction layer now
+shares: a matrix is a *stream of edge chunks*, and each consumer (the
+Matrix Market reader, the synthetic generators, the distributed
+partitioner) touches one chunk at a time.
+
+**Stream contract** (the :class:`EdgeStream` protocol):
+
+* ``nrows``/``ncols`` — the global shape, known up front;
+* ``chunks()`` — a fresh iterator of ``(rows, cols, vals)`` triples:
+  ``int64``/``int64``/``float64`` 1-D arrays of equal length.  A stream
+  must be **re-iterable**: every ``chunks()`` call replays the same
+  entries in the same chunk order (bit-identical results depend on it).
+
+Duplicate coordinates are allowed and are summed by whoever compresses
+the stream (same convention as :meth:`COOMatrix.coalesce`); chunk
+boundaries never affect the result because downstream coalescing is
+stable in stream order.
+
+**Shard lifecycle** (:class:`ShardedCOOBuilder`): producers that cannot
+re-generate their entries (parsers, one-pass transforms) append chunks
+to a builder, which buffers up to ``shard_entries`` entries in memory
+and spills full shards to ``np.memmap`` files in a private temporary
+directory.  ``finalize()`` seals the builder and returns a re-iterable
+:class:`ShardedEdgeStream` that replays the shards straight off disk;
+``close()`` (or the context manager, or garbage collection) deletes the
+shard files.  Peak memory of a build-then-consume pipeline is therefore
+O(one shard) + whatever the consumer keeps.
+
+All shard index arithmetic — shard boundaries, cumulative nnz — is
+pinned to ``int64`` (the on-disk record dtype is explicit little-endian
+``<i8``/``<f8``), so indices survive beyond 2**53 where a float64
+round-trip would corrupt them; see ``tests/test_stream.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_ENTRIES",
+    "SHARD_DTYPE",
+    "EdgeStream",
+    "ArrayEdgeStream",
+    "UndirectedEdgeStream",
+    "ShardedCOOBuilder",
+    "ShardedEdgeStream",
+]
+
+#: Default entries per yielded chunk (~6 MB of (row, col, val) triples).
+DEFAULT_CHUNK_ENTRIES = 1 << 18
+
+#: On-disk shard record: explicit little-endian int64 indices + float64
+#: value, so shards are byte-stable across hosts and indices round-trip
+#: exactly (no float path; 2**53+1 stays 2**53+1).
+SHARD_DTYPE = np.dtype([("row", "<i8"), ("col", "<i8"), ("val", "<f8")])
+
+Chunk = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@runtime_checkable
+class EdgeStream(Protocol):
+    """A re-iterable stream of ``(rows, cols, vals)`` edge chunks."""
+
+    nrows: int
+    ncols: int
+
+    def chunks(self) -> Iterator[Chunk]:  # pragma: no cover - protocol
+        ...
+
+
+def _coerce_chunk(rows, cols, vals) -> Chunk:
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    cols = np.ascontiguousarray(cols, dtype=np.int64)
+    if vals is None:
+        vals = np.ones(rows.size, dtype=np.float64)
+    else:
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+    if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+        raise ValueError("edge chunk arrays must be parallel 1-D arrays")
+    return rows, cols, vals
+
+
+class ArrayEdgeStream:
+    """An :class:`EdgeStream` over in-memory COO arrays.
+
+    The adapter that lets monolithic inputs ride the streamed code path:
+    ``DistSparseMatrix.from_csr`` wraps the global COO in one of these so
+    there is a single partitioning implementation.  Chunks are views into
+    the arrays (no copies).
+    """
+
+    __slots__ = ("nrows", "ncols", "rows", "cols", "vals", "chunk_entries")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray | None = None,
+        chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    ) -> None:
+        if chunk_entries < 1:
+            raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rows, self.cols, self.vals = _coerce_chunk(rows, cols, vals)
+        self.chunk_entries = int(chunk_entries)
+
+    @classmethod
+    def from_coo(cls, coo, chunk_entries: int = DEFAULT_CHUNK_ENTRIES) -> "ArrayEdgeStream":
+        return cls(coo.nrows, coo.ncols, coo.rows, coo.cols, coo.vals, chunk_entries)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    def chunks(self) -> Iterator[Chunk]:
+        step = self.chunk_entries
+        for lo in range(0, self.rows.size, step):
+            hi = lo + step
+            yield self.rows[lo:hi], self.cols[lo:hi], self.vals[lo:hi]
+
+
+class UndirectedEdgeStream:
+    """An :class:`EdgeStream` over batches of undirected ``{u, v}`` edges.
+
+    ``factory()`` must return a fresh iterator of ``(k, 2)`` int64 edge
+    arrays (the shape the chunked generators yield).  Each batch is
+    mirrored chunk-by-chunk — ``(u, v)`` and ``(v, u)`` with unit values,
+    self-loops dropped — so the stream describes the same symmetric
+    adjacency matrix ``COOMatrix.from_edges(...).drop_diagonal()`` builds
+    monolithically, without ever concatenating the full edge list.
+    """
+
+    __slots__ = ("nrows", "ncols", "factory")
+
+    def __init__(self, n: int, factory: Callable[[], Iterator[np.ndarray]]) -> None:
+        self.nrows = int(n)
+        self.ncols = int(n)
+        self.factory = factory
+
+    def chunks(self) -> Iterator[Chunk]:
+        for edges in self.factory():
+            edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+            u, v = edges[:, 0], edges[:, 1]
+            off = u != v
+            u, v = u[off], v[off]
+            rows = np.concatenate([u, v])
+            cols = np.concatenate([v, u])
+            yield rows, cols, np.ones(rows.size, dtype=np.float64)
+
+
+class ShardedEdgeStream:
+    """Replays the shards a :class:`ShardedCOOBuilder` wrote (re-iterable).
+
+    Each ``chunks()`` pass opens every shard as a read-only ``np.memmap``
+    and yields owned copies of at most ``chunk_entries`` records at a
+    time, so a consumer never holds more than one chunk of a shard in
+    real memory.  Valid until the owning builder is closed.
+    """
+
+    __slots__ = ("nrows", "ncols", "_builder", "chunk_entries")
+
+    def __init__(
+        self,
+        builder: "ShardedCOOBuilder",
+        chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    ) -> None:
+        self.nrows = builder.nrows
+        self.ncols = builder.ncols
+        self._builder = builder
+        self.chunk_entries = int(chunk_entries)
+
+    @property
+    def nnz(self) -> int:
+        return self._builder.nnz
+
+    def chunks(self) -> Iterator[Chunk]:
+        b = self._builder
+        if b._closed:
+            raise RuntimeError("the owning ShardedCOOBuilder has been closed")
+        for path, count in zip(b._shard_paths, b._shard_counts):
+            mm = np.memmap(path, dtype=SHARD_DTYPE, mode="r", shape=(int(count),))
+            try:
+                for lo in range(0, int(count), self.chunk_entries):
+                    view = mm[lo : lo + self.chunk_entries]
+                    yield (
+                        np.ascontiguousarray(view["row"]),
+                        np.ascontiguousarray(view["col"]),
+                        np.ascontiguousarray(view["val"]),
+                    )
+            finally:
+                del mm  # drop the mapping before the next shard opens
+
+
+class ShardedCOOBuilder:
+    """Accumulates COO triples, spilling full shards to ``np.memmap`` files.
+
+    The out-of-core buffer for producers that cannot replay their input
+    (file parsers, one-pass transforms).  ``append`` buffers entries in
+    memory; once ``shard_entries`` are buffered they are flushed to one
+    on-disk shard, so resident memory stays O(shard_entries) regardless
+    of total nnz.  ``finalize()`` flushes the tail shard and returns the
+    re-iterable :class:`ShardedEdgeStream`; ``close()`` deletes the
+    shard directory.  Usable as a context manager.
+
+    Shard boundaries and the running nnz are ``int64`` throughout — the
+    PR3 wire-format discipline applied to the ingest path.
+    """
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        shard_entries: int = 1 << 20,
+        dir: str | os.PathLike | None = None,
+    ) -> None:
+        if shard_entries < 1:
+            raise ValueError(f"shard_entries must be >= 1, got {shard_entries}")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.shard_entries = int(shard_entries)
+        self._dir = tempfile.mkdtemp(prefix="repro-shards-", dir=dir)
+        self._shard_paths: list[str] = []
+        #: entries per shard, int64 (never trust platform-default ints here)
+        self._shard_counts: list[np.int64] = []
+        self._pending: list[np.ndarray] = []  # buffered SHARD_DTYPE records
+        self._pending_count = np.int64(0)
+        self._total = np.int64(0)
+        self._finalized = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def append(self, rows, cols, vals=None) -> None:
+        """Buffer one chunk of entries (spills to disk when full)."""
+        if self._finalized or self._closed:
+            raise RuntimeError("cannot append to a finalized/closed builder")
+        rows, cols, vals = _coerce_chunk(rows, cols, vals)
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or cols.min() < 0:
+            raise ValueError("negative indices in edge chunk")
+        if rows.max() >= self.nrows or cols.max() >= self.ncols:
+            raise ValueError("edge endpoint out of range")
+        records = np.empty(rows.size, dtype=SHARD_DTYPE)
+        records["row"] = rows
+        records["col"] = cols
+        records["val"] = vals
+        self._pending.append(records)
+        self._pending_count += np.int64(rows.size)
+        self._total += np.int64(rows.size)
+        while self._pending_count >= self.shard_entries:
+            self._flush_shard(self.shard_entries)
+
+    def _flush_shard(self, count: int) -> None:
+        """Write exactly ``count`` buffered records as one shard file."""
+        take: list[np.ndarray] = []
+        remaining = int(count)
+        while remaining > 0:
+            head = self._pending[0]
+            if head.size <= remaining:
+                take.append(self._pending.pop(0))
+                remaining -= head.size
+            else:
+                take.append(head[:remaining])
+                self._pending[0] = head[remaining:]
+                remaining = 0
+        path = os.path.join(self._dir, f"shard-{len(self._shard_paths):06d}.bin")
+        mm = np.memmap(path, dtype=SHARD_DTYPE, mode="w+", shape=(int(count),))
+        lo = 0
+        for rec in take:
+            mm[lo : lo + rec.size] = rec
+            lo += rec.size
+        mm.flush()
+        del mm
+        self._shard_paths.append(path)
+        self._shard_counts.append(np.int64(count))
+        self._pending_count -= np.int64(count)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Total appended entries (int64-safe running count)."""
+        return int(self._total)
+
+    def shard_offsets(self) -> np.ndarray:
+        """Cumulative entry offsets of the flushed shards (``int64``)."""
+        counts = np.asarray(self._shard_counts, dtype=np.int64)
+        out = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=out[1:])
+        return out
+
+    def finalize(self, chunk_entries: int = DEFAULT_CHUNK_ENTRIES) -> ShardedEdgeStream:
+        """Flush the tail shard and return the re-iterable stream."""
+        if self._closed:
+            raise RuntimeError("builder already closed")
+        if not self._finalized:
+            if self._pending_count > 0:
+                self._flush_shard(int(self._pending_count))
+            self._pending = []
+            self._finalized = True
+        return ShardedEdgeStream(self, chunk_entries)
+
+    def close(self) -> None:
+        """Delete the shard files; streams over this builder go stale."""
+        if not self._closed:
+            self._closed = True
+            self._pending = []
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedCOOBuilder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

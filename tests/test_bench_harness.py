@@ -40,9 +40,36 @@ def test_registry_complete():
         "balance-ablation",
         "semiring-ablation",
         "skyline",
+        "ingest",
         "quality",
         "calibration",
     }
+
+
+def test_ingest_result_shape():
+    from repro.bench.harness import run_ingest
+
+    res = run_ingest(quick=True, matrix="zoo:rmat14")
+    assert isinstance(res, ExperimentResult)
+    assert res.name == "ingest"
+    assert res.params["matrix"] == "zoo:rmat14"
+    paths = res.table().column("path")
+    assert paths[:2] == ["streamed", "monolithic"]
+    secs = res.table().column("seconds")
+    assert all(s > 0 for s in secs)
+    # deltas above the post-import baseline: a tiny quick-mode workload
+    # can legitimately round to 0.0 (ru_maxrss is a high-water mark), so
+    # only non-negativity is asserted here — the enforced budget lives in
+    # tests/test_ingest_rss.py at scale 18
+    rss = res.table().column("peak RSS above baseline (MB)")
+    assert all(r >= 0 for r in rss)
+
+
+def test_measure_ingest_rejects_unknown_matrix():
+    from repro.bench.harness import measure_ingest
+
+    with pytest.raises(RuntimeError, match="ingest child"):
+        measure_ingest("zoo:nope", modes=("streamed",))
 
 
 def test_fig1_result_shape():

@@ -123,6 +123,48 @@ def test_params_mismatch_is_skipped_not_compared():
     assert gate_failures([c]) == []
 
 
+def test_informational_metrics_trend_but_never_gate():
+    # "gate": false marks a metric informational — it is still classified
+    # (so the trend/compare tables show it) but can never fail CI.  Used
+    # for host-environment-sensitive measurements like absolute peak RSS.
+    info = metric(1.0, normalize=False)
+    info["gate"] = False
+    worse = dict(info, value=100.0)
+    c = by_name(compare_docs(snapshot_doc({"rss": info}), snapshot_doc({"rss": worse})))[
+        "rss"
+    ]
+    assert c.status == "regressed"  # classification is unchanged
+    assert not c.gates
+    assert "informational" in c.detail
+    assert gate_failures([c]) == []
+    # one side declaring gate=false is enough to stop gating — otherwise
+    # flipping the flag in a PR would itself fail the gate
+    c2 = by_name(
+        compare_docs(
+            snapshot_doc({"rss": metric(1.0, normalize=False)}),
+            snapshot_doc({"rss": worse}),
+        )
+    )["rss"]
+    assert not c2.gates
+    # and an ordinary metric still gates
+    c3 = by_name(
+        compare_docs(
+            snapshot_doc({"t": metric(1.0, normalize=False)}),
+            snapshot_doc({"t": metric(100.0, normalize=False)}),
+        )
+    )["t"]
+    assert c3.gates
+    assert gate_failures([c3]) == [c3]
+
+
+def test_validate_snapshot_accepts_and_rejects_gate_flag():
+    good = snapshot_doc({"m": dict(metric(1.0), gate=False)})
+    validate_snapshot(good)
+    bad = snapshot_doc({"m": dict(metric(1.0), gate="no")})
+    with pytest.raises(SchemaError, match="'gate' must be a boolean"):
+        validate_snapshot(bad)
+
+
 def test_metric_definition_mismatch_is_skipped_not_compared():
     # normalizing one side but not the other would be nonsense — a
     # metric whose definition changed between snapshot versions is

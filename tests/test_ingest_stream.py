@@ -1,0 +1,200 @@
+"""Streamed vs monolithic construction: the bit-identity contract.
+
+``DistSparseMatrix.from_stream`` is THE partitioning code path
+(``from_csr`` wraps it), so this suite pins it three ways:
+
+* against an inline copy of the pre-refactor ``from_csr`` scatter (the
+  oracle below) — per-block indptr/indices/data bit-identical across
+  grids 1x1..4x4 and chunk sizes {1, 7, 4096};
+* against itself with ``spill=True`` (memmap shards) and tiny shard
+  sizes, so shard boundaries are exercised;
+* end-to-end: RCM orderings and modeled cost ledgers from a streamed
+  matrix match the monolithic build exactly, on both engines.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistContext, DistSparseMatrix
+from repro.distributed.rcm import rcm_distributed
+from repro.machine import MachineParams, ProcessGrid
+from repro.matrices.suite import PAPER_SUITE
+from repro.runtime import WorkerPool
+from repro.sparse import ArrayEdgeStream, COOMatrix, CSCMatrix, CSRMatrix
+from repro.sparse.permute import random_symmetric_permutation
+
+NPROCS = int(os.environ.get("REPRO_TEST_PROCS", "2"))
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(NPROCS)
+    yield p
+    p.close()
+
+
+def _legacy_from_csr(ctx, A):
+    """The pre-refactor ``from_csr`` scatter, verbatim: the oracle."""
+    grid = ctx.grid
+    n = A.nrows
+    row_offsets = np.array(
+        [grid.row_block(n, i)[0] for i in range(grid.pr)] + [n], dtype=np.int64
+    )
+    col_offsets = np.array(
+        [grid.col_block(n, j)[0] for j in range(grid.pc)] + [n], dtype=np.int64
+    )
+    coo = A.to_coo()
+    bi = np.searchsorted(row_offsets, coo.rows, side="right") - 1
+    bj = np.searchsorted(col_offsets, coo.cols, side="right") - 1
+    blocks = {}
+    key = bi * grid.pc + bj
+    order = np.argsort(key, kind="stable")
+    bounds = np.searchsorted(key[order], np.arange(grid.size + 1, dtype=np.int64))
+    for i in range(grid.pr):
+        rlo, rhi = row_offsets[i], row_offsets[i + 1]
+        for j in range(grid.pc):
+            clo, chi = col_offsets[j], col_offsets[j + 1]
+            r = grid.rank_of(i, j)
+            sel = order[bounds[r] : bounds[r + 1]]
+            blocks[(i, j)] = CSCMatrix.from_coo(
+                COOMatrix(
+                    int(rhi - rlo),
+                    int(chi - clo),
+                    coo.rows[sel] - rlo,
+                    coo.cols[sel] - clo,
+                    coo.vals[sel],
+                )
+            )
+    return DistSparseMatrix(ctx, n, blocks, row_offsets, col_offsets)
+
+
+def _assert_blocks_identical(M, O):
+    assert M.n == O.n
+    assert np.array_equal(M.row_offsets, O.row_offsets)
+    assert np.array_equal(M.col_offsets, O.col_offsets)
+    assert set(M.blocks) == set(O.blocks)
+    for ij, b in M.blocks.items():
+        o = O.blocks[ij]
+        assert np.array_equal(b.indptr, o.indptr), ij
+        assert np.array_equal(b.indices, o.indices), ij
+        assert np.array_equal(b.data, o.data), ij
+
+
+def _assert_ledgers_identical(a, b):
+    assert a.region_names() == b.region_names()
+    for name in a.region_names():
+        ra, rb = a.region(name), b.region(name)
+        assert ra.compute_seconds == rb.compute_seconds, name
+        assert ra.comm_seconds == rb.comm_seconds, name
+        assert (ra.operations, ra.messages, ra.words) == (
+            rb.operations,
+            rb.messages,
+            rb.words,
+        ), name
+
+
+def _test_matrix(n=37, seed=5, dups=True):
+    """Small asymmetric-valued matrix with duplicates and empty blocks."""
+    rng = np.random.default_rng(seed)
+    m = 300
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    vals = rng.random(m)
+    if dups:  # duplicate a slice so coalescing order matters
+        rows = np.concatenate([rows, rows[:40]])
+        cols = np.concatenate([cols, cols[:40]])
+        vals = np.concatenate([vals, rng.random(40)])
+    return CSRMatrix.from_coo(COOMatrix(n, n, rows, cols, vals)), (rows, cols, vals)
+
+
+@pytest.mark.parametrize("pr,pc", [(1, 1), (1, 3), (2, 2), (3, 2), (4, 4)])
+def test_from_csr_matches_legacy_scatter(pr, pc):
+    A, _ = _test_matrix()
+    ctx = DistContext(ProcessGrid(pr, pc), MachineParams(threads_per_process=1))
+    _assert_blocks_identical(
+        DistSparseMatrix.from_csr(ctx, A), _legacy_from_csr(ctx, A)
+    )
+
+
+@pytest.mark.parametrize("chunk_entries", [1, 7, 4096])
+@pytest.mark.parametrize("pr,pc", [(1, 1), (2, 2), (4, 4)])
+def test_from_stream_chunk_size_invisible(pr, pc, chunk_entries):
+    # raw duplicated triples (pre-coalesce) through every chunking must
+    # equal the legacy scatter of the assembled CSR
+    A, (rows, cols, vals) = _test_matrix()
+    ctx = DistContext(ProcessGrid(pr, pc), MachineParams(threads_per_process=1))
+    stream = ArrayEdgeStream(A.nrows, A.ncols, rows, cols, vals, chunk_entries)
+    _assert_blocks_identical(
+        DistSparseMatrix.from_stream(ctx, stream), _legacy_from_csr(ctx, A)
+    )
+
+
+@pytest.mark.parametrize("shard_entries", [1, 16, 1 << 20])
+def test_from_stream_spill_path_identical(shard_entries):
+    A, (rows, cols, vals) = _test_matrix()
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams(threads_per_process=1))
+    stream = ArrayEdgeStream(A.nrows, A.ncols, rows, cols, vals, chunk_entries=7)
+    M = DistSparseMatrix.from_stream(
+        ctx, stream, spill=True, shard_entries=shard_entries
+    )
+    _assert_blocks_identical(M, _legacy_from_csr(ctx, A))
+
+
+def test_from_stream_validates():
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams(threads_per_process=1))
+    with pytest.raises(ValueError, match="square"):
+        DistSparseMatrix.from_stream(ctx, ArrayEdgeStream(3, 4, [0], [0]))
+    with pytest.raises(ValueError, match="negative"):
+        DistSparseMatrix.from_stream(ctx, ArrayEdgeStream(5, 5, [-1], [0]))
+    with pytest.raises(ValueError, match="out of range"):
+        DistSparseMatrix.from_stream(ctx, ArrayEdgeStream(5, 5, [0], [5]))
+
+
+def test_from_stream_empty_blocks():
+    # every entry lands in block (0, 0); the other blocks must be empty
+    ctx = DistContext(ProcessGrid(2, 2), MachineParams(threads_per_process=1))
+    M = DistSparseMatrix.from_stream(
+        ctx, ArrayEdgeStream(10, 10, [0, 1], [1, 0], [1.0, 1.0])
+    )
+    assert M.blocks[(1, 1)].nnz == 0
+    assert M.nnz == 2
+    A = CSRMatrix.from_coo(COOMatrix(10, 10, [0, 1], [1, 0], [1.0, 1.0]))
+    _assert_blocks_identical(M, _legacy_from_csr(ctx, A))
+
+
+@pytest.mark.parametrize("name", ["nd24k", "li7nmax6"])
+def test_paper_suite_streamed_orderings_and_ledgers(name):
+    A = PAPER_SUITE[name].build(0.35)
+    mono_ctx = DistContext(ProcessGrid(2, 2))
+    mono = rcm_distributed(A, ctx=mono_ctx)
+
+    stream_ctx = DistContext(ProcessGrid(2, 2))
+    coo = A.to_coo()
+    stream = ArrayEdgeStream.from_coo(coo, chunk_entries=4096)
+    M = DistSparseMatrix.from_stream(stream_ctx, stream, spill=True)
+    streamed = rcm_distributed(M)
+
+    assert np.array_equal(streamed.ordering.perm, mono.ordering.perm)
+    _assert_ledgers_identical(streamed.ledger, mono.ledger)
+
+
+def test_streamed_rcm_bit_identical_across_engines(pool):
+    A, _ = random_symmetric_permutation(
+        PAPER_SUITE["nd24k"].build(0.3), seed=11
+    )
+    grid = ProcessGrid.fitting(4)
+    machine = MachineParams(threads_per_process=1)
+
+    def dist(ctx):
+        stream = ArrayEdgeStream.from_coo(A.to_coo(), chunk_entries=1000)
+        return DistSparseMatrix.from_stream(ctx, stream, spill=True,
+                                            shard_entries=4096)
+
+    sim = rcm_distributed(dist(DistContext(grid, machine)))
+    proc = rcm_distributed(
+        dist(DistContext(grid, machine, engine="processes", pool=pool))
+    )
+    assert np.array_equal(sim.ordering.perm, proc.ordering.perm)
+    _assert_ledgers_identical(sim.ledger, proc.ledger)

@@ -5,7 +5,13 @@ import io
 import numpy as np
 import pytest
 
-from repro.sparse import COOMatrix, read_matrix_market, write_matrix_market
+from repro.sparse import (
+    COOMatrix,
+    iter_matrix_market_chunks,
+    read_matrix_market,
+    stream_matrix_market,
+    write_matrix_market,
+)
 
 
 def roundtrip(matrix: COOMatrix, **kwargs) -> COOMatrix:
@@ -114,3 +120,125 @@ def test_file_path_roundtrip(tmp_path):
 def test_write_field_validation():
     with pytest.raises(ValueError):
         write_matrix_market(io.StringIO(), COOMatrix.empty(1, 1), field="complex")
+
+
+# ----------------------------------------------------------------------
+# Chunked reader (the streamed ingest front end)
+# ----------------------------------------------------------------------
+def test_iter_chunks_batches_and_matches_monolithic():
+    rng = np.random.default_rng(0)
+    m = COOMatrix(
+        9, 7, rng.integers(0, 9, 50), rng.integers(0, 7, 50), rng.random(50)
+    ).coalesce()
+    buf = io.StringIO()
+    write_matrix_market(buf, m)
+    buf.seek(0)
+    (nrows, ncols), chunks = iter_matrix_market_chunks(buf, chunk_entries=2)
+    assert (nrows, ncols) == (9, 7)
+    parts = list(chunks)
+    assert all(r.size <= 2 for r, _, _ in parts)
+    assert sum(r.size for r, _, _ in parts) == m.nnz > 20
+    back = COOMatrix(
+        nrows,
+        ncols,
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+    assert back.coalesce() == m.coalesce()
+
+
+@pytest.mark.parametrize("chunk_entries", [1, 3, 1000])
+def test_chunked_symmetric_expansion_per_chunk(chunk_entries):
+    # mirrors must appear inside the chunk that read them — never as a
+    # trailing full-matrix pass (the old 2x-memory behavior)
+    text = """%%MatrixMarket matrix coordinate real symmetric
+4 4 3
+2 1 5.0
+3 3 1.0
+4 2 2.5
+"""
+    (nrows, ncols), chunks = iter_matrix_market_chunks(
+        io.StringIO(text), chunk_entries=chunk_entries
+    )
+    parts = list(chunks)
+    for rows, cols, vals in parts:
+        for r, c, v in zip(rows, cols, vals):
+            if r != c:  # every off-diagonal's mirror rides the same chunk
+                assert np.any((rows == c) & (cols == r) & (vals == v))
+    total = sum(p[0].size for p in parts)
+    assert total == 5  # 2 off-diagonals mirrored + 1 diagonal
+    m = read_matrix_market(io.StringIO(text), chunk_entries=chunk_entries)
+    assert m.nnz == 5
+
+
+def test_reader_chunk_size_invisible():
+    rng = np.random.default_rng(4)
+    m = COOMatrix.from_edges(20, rng.integers(0, 20, size=(60, 2)))
+    buf = io.StringIO()
+    write_matrix_market(buf, m, symmetric=True)
+    text = buf.getvalue()
+    dense = read_matrix_market(io.StringIO(text)).to_dense()
+    for chunk_entries in (1, 7, 4096):
+        got = read_matrix_market(io.StringIO(text), chunk_entries=chunk_entries)
+        assert np.array_equal(got.to_dense(), dense)
+
+
+def test_reader_preserves_int64_indices_beyond_float53():
+    # indices past 2**53 must survive parsing exactly (no float64 detour)
+    big = 2**53 + 1
+    text = (
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        f"{big + 1} {big + 1} 2\n"
+        f"{big} 1\n"
+        f"1 {big}\n"
+    )
+    m = read_matrix_market(io.StringIO(text))
+    assert m.rows.dtype == np.int64
+    assert sorted(m.rows.tolist()) == [0, big - 1]
+    assert sorted(m.cols.tolist()) == [0, big - 1]
+
+
+def test_stream_matrix_market_is_reiterable(tmp_path):
+    m = COOMatrix.from_edges(6, [(0, 5), (1, 3), (2, 4)])
+    path = tmp_path / "g.mtx"
+    write_matrix_market(path, m, symmetric=True)
+    s = stream_matrix_market(path, chunk_entries=2)
+    assert (s.nrows, s.ncols) == (6, 6)
+    first = list(s.chunks())
+    second = list(s.chunks())  # replays the file from the top
+    assert len(first) == len(second) > 1
+    for a, b in zip(first, second):
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+    rows = np.concatenate([p[0] for p in first])
+    cols = np.concatenate([p[1] for p in first])
+    vals = np.concatenate([p[2] for p in first])
+    assert COOMatrix(6, 6, rows, cols, vals).coalesce() == m.coalesce()
+
+
+def test_stream_matrix_market_validates_header_eagerly(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("garbage\n1 1 0\n")
+    with pytest.raises(ValueError):
+        stream_matrix_market(path)
+
+
+def test_chunked_nnz_mismatch_rejected():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 4.0
+"""
+    (_, _), chunks = iter_matrix_market_chunks(io.StringIO(text), chunk_entries=1)
+    with pytest.raises(ValueError, match="expected 3 entries"):
+        list(chunks)
+
+
+def test_chunked_missing_value_column_rejected():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 1
+1 1
+"""
+    (_, _), chunks = iter_matrix_market_chunks(io.StringIO(text))
+    with pytest.raises(ValueError, match="value column"):
+        list(chunks)

@@ -8,13 +8,16 @@ from repro.matrices import (
     block_overlap_graph,
     disconnected_union,
     erdos_renyi,
+    erdos_renyi_chunks,
     path_graph,
     random_banded,
+    random_banded_chunks,
     random_geometric,
     rmat,
+    rmat_chunks,
     stencil_2d,
 )
-from repro.sparse import is_structurally_symmetric
+from repro.sparse import COOMatrix, CSRMatrix, is_structurally_symmetric
 
 
 def test_erdos_renyi_size_and_symmetry():
@@ -91,3 +94,47 @@ def test_disconnected_union_preserves_nnz():
     parts = [path_graph(5), path_graph(7)]
     A = disconnected_union(parts)
     assert A.nnz == sum(p.nnz for p in parts)
+
+
+# ----------------------------------------------------------------------
+# Chunked generator variants: edge sets must not depend on consumption
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "chunks_fn,mono_fn,n",
+    [
+        (lambda: erdos_renyi_chunks(300, 6, seed=1), lambda: erdos_renyi(300, 6, seed=1), 300),
+        (
+            lambda: random_banded_chunks(150, 9, 5, seed=2),
+            lambda: random_banded(150, 9, 5, seed=2),
+            150,
+        ),
+        (
+            lambda: rmat_chunks(8, edge_factor=12, seed=3),
+            lambda: rmat(8, edge_factor=12, seed=3),
+            256,
+        ),
+    ],
+)
+def test_chunked_variant_matches_monolithic(chunks_fn, mono_fn, n):
+    edges = np.concatenate([np.asarray(b, dtype=np.int64) for b in chunks_fn()])
+    B = CSRMatrix.from_coo(COOMatrix.from_edges(n, edges).drop_diagonal())
+    A = mono_fn()
+    assert np.array_equal(A.indptr, B.indptr)
+    assert np.array_equal(A.indices, B.indices)
+
+
+def test_chunk_shape_and_dtype():
+    blocks = list(erdos_renyi_chunks(5000, 8, seed=9))
+    assert len(blocks) >= 1
+    for b in blocks:
+        assert b.ndim == 2 and b.shape[1] == 2
+        assert b.dtype == np.int64
+
+
+def test_chunked_generator_is_reiterable_lazily():
+    # generators return fresh iterators; two passes agree block-for-block
+    first = list(rmat_chunks(7, edge_factor=8, seed=5))
+    second = list(rmat_chunks(7, edge_factor=8, seed=5))
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)

@@ -1,0 +1,208 @@
+"""Edge-stream substrate: ArrayEdgeStream, UndirectedEdgeStream, sharding.
+
+The contract under test (DESIGN.md "Ingestion pipeline"): streams are
+re-iterable, chunking never changes the entry sequence, and the sharded
+spill path preserves every entry bit-exactly — including int64 indices
+beyond 2**53, where any float64 detour would silently round.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix
+from repro.sparse.stream import (
+    DEFAULT_CHUNK_ENTRIES,
+    SHARD_DTYPE,
+    ArrayEdgeStream,
+    EdgeStream,
+    ShardedCOOBuilder,
+    UndirectedEdgeStream,
+)
+
+
+def _collect(stream):
+    """Concatenate every chunk of a stream into one (rows, cols, vals)."""
+    parts = list(stream.chunks())
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64)
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+
+
+# ----------------------------------------------------------------------
+# ArrayEdgeStream
+# ----------------------------------------------------------------------
+def test_array_stream_round_trips_coo():
+    rng = np.random.default_rng(0)
+    coo = COOMatrix(
+        50,
+        40,
+        rng.integers(0, 50, 333),
+        rng.integers(0, 40, 333),
+        rng.random(333),
+    )
+    s = ArrayEdgeStream.from_coo(coo, chunk_entries=64)
+    assert isinstance(s, EdgeStream)
+    assert (s.nrows, s.ncols, s.nnz) == (50, 40, 333)
+    rows, cols, vals = _collect(s)
+    assert np.array_equal(rows, coo.rows)
+    assert np.array_equal(cols, coo.cols)
+    assert np.array_equal(vals, coo.vals)
+
+
+@pytest.mark.parametrize("chunk_entries", [1, 7, 333, 10_000])
+def test_array_stream_chunking_is_invisible(chunk_entries):
+    rng = np.random.default_rng(1)
+    rows = rng.integers(0, 9, 333)
+    cols = rng.integers(0, 9, 333)
+    s = ArrayEdgeStream(9, 9, rows, cols, chunk_entries=chunk_entries)
+    got_rows, got_cols, got_vals = _collect(s)
+    assert np.array_equal(got_rows, rows)
+    assert np.array_equal(got_cols, cols)
+    assert np.array_equal(got_vals, np.ones(333))  # vals=None -> unit values
+    sizes = [r.size for r, _, _ in s.chunks()]
+    assert all(sz == chunk_entries for sz in sizes[:-1])
+    assert sum(sizes) == 333
+
+
+def test_array_stream_is_reiterable():
+    s = ArrayEdgeStream(4, 4, [0, 1, 2], [1, 2, 3], chunk_entries=2)
+    first = _collect(s)
+    second = _collect(s)
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+
+
+def test_array_stream_validates():
+    with pytest.raises(ValueError, match="chunk_entries"):
+        ArrayEdgeStream(3, 3, [0], [1], chunk_entries=0)
+    with pytest.raises(ValueError, match="parallel 1-D"):
+        ArrayEdgeStream(3, 3, [0, 1], [1])
+
+
+# ----------------------------------------------------------------------
+# UndirectedEdgeStream
+# ----------------------------------------------------------------------
+def test_undirected_stream_mirrors_and_drops_loops():
+    batches = [
+        np.array([[0, 1], [2, 2], [1, 3]], dtype=np.int64),
+        np.array([[3, 0]], dtype=np.int64),
+    ]
+    s = UndirectedEdgeStream(4, lambda: iter(batches))
+    chunks = list(s.chunks())
+    assert len(chunks) == 2
+    rows, cols, vals = chunks[0]
+    # (2,2) self-loop dropped; each surviving edge appears both ways
+    assert rows.tolist() == [0, 1, 1, 3]
+    assert cols.tolist() == [1, 3, 0, 1]
+    assert np.array_equal(vals, np.ones(4))
+    assert rows.dtype == np.int64 and cols.dtype == np.int64
+
+
+def test_undirected_stream_matches_monolithic_assembly():
+    rng = np.random.default_rng(2)
+    edges = rng.integers(0, 30, size=(200, 2)).astype(np.int64)
+    mono = COOMatrix.from_edges(30, edges).drop_diagonal()
+    s = UndirectedEdgeStream(30, lambda: iter([edges[:77], edges[77:]]))
+    rows, cols, vals = _collect(s)
+    streamed = COOMatrix(30, 30, rows, cols, vals).coalesce()
+    assert streamed == mono.coalesce()
+
+
+# ----------------------------------------------------------------------
+# ShardedCOOBuilder / ShardedEdgeStream
+# ----------------------------------------------------------------------
+def test_builder_round_trip_across_multiple_shards(tmp_path):
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, 100, 1000)
+    cols = rng.integers(0, 100, 1000)
+    vals = rng.random(1000)
+    with ShardedCOOBuilder(100, 100, shard_entries=64, dir=tmp_path) as b:
+        for lo in range(0, 1000, 130):  # appends straddle shard boundaries
+            b.append(rows[lo : lo + 130], cols[lo : lo + 130], vals[lo : lo + 130])
+        assert b.nnz == 1000
+        offsets = b.shard_offsets()
+        assert offsets.dtype == np.int64
+        assert np.array_equal(np.diff(offsets), np.full(15, 64))
+        stream = b.finalize(chunk_entries=37)
+        assert stream.nnz == 1000
+        got = _collect(stream)
+        assert np.array_equal(got[0], rows)
+        assert np.array_equal(got[1], cols)
+        assert np.array_equal(got[2], vals)
+        again = _collect(stream)  # re-iterable off disk
+        for a, g in zip(again, got):
+            assert np.array_equal(a, g)
+
+
+def test_builder_spills_exact_size_shards(tmp_path):
+    b = ShardedCOOBuilder(10, 10, shard_entries=8, dir=tmp_path)
+    b.append(np.arange(10) % 10, np.arange(10) % 10)
+    # 10 appended: one full shard of 8 on disk, 2 pending in memory
+    assert len(b._shard_paths) == 1
+    assert os.path.getsize(b._shard_paths[0]) == 8 * SHARD_DTYPE.itemsize
+    b.finalize()
+    assert [int(c) for c in b._shard_counts] == [8, 2]
+    b.close()
+
+
+def test_builder_preserves_int64_beyond_float53(tmp_path):
+    # 2**53 + 1 is the first int64 a float64 round-trip corrupts; the
+    # shard path must carry it exactly (regression for the int64 pin).
+    big = np.int64(2**53 + 1)
+    n = int(big) + 2
+    with ShardedCOOBuilder(n, n, shard_entries=2, dir=tmp_path) as b:
+        b.append(
+            np.array([big, big + 1, 3], dtype=np.int64),
+            np.array([0, big, big], dtype=np.int64),
+        )
+        rows, cols, _ = _collect(b.finalize())
+    assert rows.tolist() == [int(big), int(big) + 1, 3]
+    assert cols.tolist() == [0, int(big), int(big)]
+    assert rows.dtype == np.int64
+
+
+def test_builder_validates_entries(tmp_path):
+    b = ShardedCOOBuilder(5, 5, dir=tmp_path)
+    with pytest.raises(ValueError, match="negative"):
+        b.append([-1], [0])
+    with pytest.raises(ValueError, match="out of range"):
+        b.append([0], [5])
+    with pytest.raises(ValueError, match="shard_entries"):
+        ShardedCOOBuilder(5, 5, shard_entries=0, dir=tmp_path)
+    b.close()
+
+
+def test_builder_lifecycle_errors(tmp_path):
+    b = ShardedCOOBuilder(5, 5, shard_entries=2, dir=tmp_path)
+    b.append([0, 1, 2], [1, 2, 3])
+    stream = b.finalize()
+    with pytest.raises(RuntimeError, match="finalized"):
+        b.append([0], [0])
+    shard_dir = b._dir
+    assert os.path.isdir(shard_dir)
+    b.close()
+    assert not os.path.isdir(shard_dir)  # shards deleted
+    with pytest.raises(RuntimeError, match="closed"):
+        list(stream.chunks())
+    with pytest.raises(RuntimeError, match="closed"):
+        b.finalize()
+    b.close()  # idempotent
+
+
+def test_builder_empty_finalize(tmp_path):
+    with ShardedCOOBuilder(5, 5, dir=tmp_path) as b:
+        stream = b.finalize()
+        assert stream.nnz == 0
+        assert list(stream.chunks()) == []
+
+
+def test_default_chunk_entries_sane():
+    assert DEFAULT_CHUNK_ENTRIES >= 1
+    assert SHARD_DTYPE.itemsize == 24  # 8 + 8 + 8, packed

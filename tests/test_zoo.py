@@ -1,0 +1,157 @@
+"""Graph zoo: registry integrity, streamed==monolithic, new generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import bfs_levels
+from repro.core.components import connected_components
+from repro.matrices import (
+    GRAPH_ZOO,
+    bipartite_product,
+    bipartite_product_chunks,
+    resolve_matrix,
+    road_mesh,
+    road_mesh_chunks,
+    zoo_entry,
+)
+from repro.sparse import COOMatrix, CSRMatrix
+from repro.sparse.stream import EdgeStream
+
+
+# ----------------------------------------------------------------------
+# Registry integrity
+# ----------------------------------------------------------------------
+def test_registry_names_and_fields():
+    assert len(GRAPH_ZOO) >= 10
+    for name, e in GRAPH_ZOO.items():
+        assert e.name == name
+        assert e.n > 0 and e.approx_edges > 0
+        assert e.family in ("rmat", "road", "bipartite", "er")
+        assert e.description
+    # the regimes the paper contrasts are all represented
+    assert {e.family for e in GRAPH_ZOO.values()} == {
+        "rmat", "road", "bipartite", "er"
+    }
+    # web-scale entries exist and are marked stream-only
+    assert any(not e.monolithic_ok for e in GRAPH_ZOO.values())
+
+
+def test_zoo_entry_lookup():
+    assert zoo_entry("rmat14") is GRAPH_ZOO["rmat14"]
+    with pytest.raises(KeyError, match="rmat14"):  # message lists registry
+        zoo_entry("nope")
+
+
+def test_stream_only_entries_refuse_monolithic_build():
+    e = next(e for e in GRAPH_ZOO.values() if not e.monolithic_ok)
+    with pytest.raises(MemoryError, match="stream-only"):
+        e.build()
+
+
+@pytest.mark.parametrize("name", ["rmat14", "road-512", "bipartite-aat-small"])
+def test_streamed_equals_monolithic(name):
+    e = zoo_entry(name)
+    A = e.build()
+    assert A.nrows == e.n
+    s = e.stream()
+    assert isinstance(s, EdgeStream)
+    parts = list(s.chunks())
+    coo = COOMatrix(
+        e.n,
+        e.n,
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+    B = CSRMatrix.from_coo(coo)
+    assert np.array_equal(A.indptr, B.indptr)
+    assert np.array_equal(A.indices, B.indices)
+    # stream is re-iterable: a second pass yields the same chunks
+    again = list(s.chunks())
+    assert len(again) == len(parts)
+    for (r1, c1, _), (r2, c2, _) in zip(parts, again):
+        assert np.array_equal(r1, r2) and np.array_equal(c1, c2)
+
+
+# ----------------------------------------------------------------------
+# resolve_matrix (the --matrix spec parser)
+# ----------------------------------------------------------------------
+def test_resolve_matrix_zoo_spec():
+    name, stream, entry = resolve_matrix("zoo:rmat14")
+    assert name == "rmat14"
+    assert entry is GRAPH_ZOO["rmat14"]
+    assert stream.nrows == entry.n
+
+
+def test_resolve_matrix_suite_spec():
+    name, stream, entry = resolve_matrix("nd24k", scale=0.3)
+    assert name == "nd24k" and entry is None
+    rows, *_ = zip(*stream.chunks())
+    assert sum(r.size for r in rows) == stream.nnz
+
+
+def test_resolve_matrix_rejects_unknown():
+    with pytest.raises(KeyError, match="zoo:"):
+        resolve_matrix("not-a-matrix")
+    with pytest.raises(KeyError, match="unknown zoo entry"):
+        resolve_matrix("zoo:not-a-matrix")
+
+
+# ----------------------------------------------------------------------
+# road_mesh: the high-diameter regime
+# ----------------------------------------------------------------------
+def test_road_mesh_connected_and_high_diameter():
+    A = road_mesh(48, 32, seed=3)
+    assert A.nrows == 48 * 32
+    ncomp, labels = connected_components(A)
+    assert ncomp == 1  # the kept spine guarantees connectivity
+    levels, _ = bfs_levels(A, 0)
+    # eccentricity scales with nx + ny, unlike rmat's ~log n
+    assert levels.max() >= 48
+    # symmetric, no diagonal
+    At = A.transpose()
+    assert np.array_equal(A.indptr, At.indptr)
+    assert np.array_equal(A.indices, At.indices)
+
+
+def test_road_mesh_chunks_match_monolithic():
+    A = road_mesh(20, 17, seed=9)
+    edges = np.concatenate(
+        [np.asarray(b, dtype=np.int64) for b in road_mesh_chunks(20, 17, seed=9)]
+    )
+    B = CSRMatrix.from_coo(COOMatrix.from_edges(20 * 17, edges).drop_diagonal())
+    assert np.array_equal(A.indptr, B.indptr)
+    assert np.array_equal(A.indices, B.indices)
+
+
+def test_road_mesh_deterministic():
+    a = road_mesh(12, 12, seed=4)
+    b = road_mesh(12, 12, seed=4)
+    assert np.array_equal(a.indices, b.indices)
+    c = road_mesh(12, 12, seed=5)
+    assert not np.array_equal(a.indices, c.indices)
+
+
+# ----------------------------------------------------------------------
+# bipartite_product: A.A^T squared into the symmetric pipeline
+# ----------------------------------------------------------------------
+def test_bipartite_product_structure():
+    A = bipartite_product(200, 500, max_members=4, seed=1)
+    assert A.nrows == A.ncols == 200
+    # symmetric with empty diagonal (self-pairs dropped)
+    At = A.transpose()
+    assert np.array_equal(A.indptr, At.indptr)
+    assert np.array_equal(A.indices, At.indices)
+    rows = np.repeat(np.arange(200), np.diff(A.indptr))
+    assert not np.any(rows == A.indices)
+    assert A.nnz > 0
+
+
+def test_bipartite_product_chunks_match_monolithic():
+    A = bipartite_product(150, 400, seed=2)
+    edges = np.concatenate(
+        [np.asarray(b, dtype=np.int64) for b in bipartite_product_chunks(150, 400, seed=2)]
+    )
+    B = CSRMatrix.from_coo(COOMatrix.from_edges(150, edges).drop_diagonal())
+    assert np.array_equal(A.indptr, B.indptr)
+    assert np.array_equal(A.indices, B.indices)
