@@ -33,6 +33,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-bench = repro.bench.cli:main",
+            "repro-serve = repro.service.serve:main",
         ],
     },
 )

@@ -25,7 +25,11 @@ one schema-versioned JSON document the history subsystem
 * **ingestion** — construction wall time and peak-RSS-above-baseline of
   streamed sharded vs monolithic distributed construction of a graph-zoo
   workload, each in its own subprocess, per-block nnz enforced identical
-  (:func:`~repro.bench.harness.measure_ingest`).
+  (:func:`~repro.bench.harness.measure_ingest`);
+* **service** — throughput, warm cache-hit latency and dedup hit rate
+  of the batched async reordering server under concurrent load, hit
+  rate enforced equal to the workload's duplicate ratio
+  (:func:`~repro.bench.harness.measure_service`).
 
 Every wall-clock metric is paired with a **machine score** — the wall
 time of a fixed synthetic numpy workload measured in the same process —
@@ -90,6 +94,8 @@ class SnapshotConfig:
     direction_dist_ranks: int = 16
     ingest_matrix: str = "zoo:rmat18"
     ingest_grid: tuple[int, int] = (2, 2)
+    service_submissions: int = 64
+    service_unique: int = 8
 
 
 #: The full protocol: the PR 1 matrix set at scale 1.0 with the per-rank
@@ -108,6 +114,8 @@ QUICK_CONFIG = SnapshotConfig(
     repeats=5,
     serial_matrices=("nd24k", "serena"),
     driver_baseline_max_ranks=0,
+    service_submissions=32,
+    service_unique=4,
 )
 
 
@@ -311,6 +319,34 @@ def collect_metrics(config: SnapshotConfig) -> dict[str, dict]:
         normalize=False,
         scale=scale,
         gate=False,
+    )
+
+    # -------- service: the batched async reordering server ---------------
+    # One concurrent-load run against a fresh 2-worker service (the load
+    # itself enforces dedup hit rate == duplicate ratio, so a passing
+    # number is also a correctness check).  Service timings mix asyncio
+    # scheduling, fork-warmed pool dispatch and event-loop wakeups —
+    # noisy in ways the machine score cannot cancel — so, like the RSS
+    # metrics, they are informational (gate=false): trended in the
+    # history, never a CI failure.
+    from .harness import measure_service
+
+    svc = measure_service(
+        workers=2,
+        submissions=config.service_submissions,
+        unique=config.service_unique,
+        scale=scale,
+    )
+    metrics["service.throughput_rps"] = _metric(
+        svc["throughput_rps"], "req/s", "higher", normalize=False, scale=scale,
+        gate=False,
+    )
+    metrics["service.cache_hit.latency_ms"] = _metric(
+        svc["cache_hit_latency_ms"], "ms", "lower", normalize=False, scale=scale,
+        gate=False,
+    )
+    metrics["service.dedup.hit_rate"] = _metric(
+        svc["hit_rate"], "ratio", "higher", normalize=False, scale=scale, gate=False
     )
 
     # -------- processes-engine calibration (per-phase SpMSpV times) -----

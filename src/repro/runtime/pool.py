@@ -14,9 +14,14 @@ same worker.
 Failure model: a worker that dies (killed, OOM, segfault) surfaces as
 :class:`WorkerCrashError` on the next dispatch; a task that merely
 raises surfaces as :class:`TaskError` carrying the worker-side traceback
-while the worker — and the pool — stay usable.  ``close()`` is
-idempotent, runs at interpreter exit for any leaked pool, and tears down
-processes and shared-memory arenas even after crashes.
+while the worker — and the pool — stay usable.  After a crash the pool
+refuses further dispatch until :meth:`repair` replaces the dead workers
+in place (fresh processes, fresh pipes, same pool object) — the serving
+layer's recovery path, which avoids refork-the-world restarts.
+``close()`` is idempotent (including concurrent double-close from a
+service thread racing the interpreter-exit hook), runs at interpreter
+exit for any leaked pool, and tears down processes and shared-memory
+arenas even after crashes.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+import threading
 import time
 import weakref
 from typing import Any, Sequence
@@ -67,27 +73,41 @@ class WorkerPool:
 
         resource_tracker.ensure_running()
         self.nworkers = nworkers
+        self._mp_ctx = ctx
         self._procs = []
         self._conns = []
         self._closed = False
         self._broken = False
+        #: close() may race between a service thread, atexit and __del__;
+        #: the lock makes "first caller tears down, everyone else returns"
+        #: hold even for concurrent callers
+        self._close_lock = threading.Lock()
+        #: workers with a message sent but the reply not yet received —
+        #: what repair() must settle before the pipe protocol is in sync
+        self._pending: set[int] = set()
         #: keys already scattered to workers (dedup for ensure-style callers)
         self.registered_keys: set[str] = set()
         self.in_arena = Arena("in")
         self.out_arena = Arena("out")
         for w in range(nworkers):
-            parent, child = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=worker_main,
-                args=(w, child),
-                name=f"repro-worker-{w}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
+            self._procs.append(None)
+            self._conns.append(None)
+            self._spawn(w)
         _LIVE_POOLS.add(self)
+
+    def _spawn(self, w: int) -> None:
+        """(Re)create worker slot ``w``: fresh process, fresh pipe."""
+        parent, child = self._mp_ctx.Pipe(duplex=True)
+        proc = self._mp_ctx.Process(
+            target=worker_main,
+            args=(w, child),
+            name=f"repro-worker-{w}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[w] = proc
+        self._conns[w] = parent
 
     # ------------------------------------------------------------------
     # Rank -> worker placement
@@ -113,7 +133,7 @@ class WorkerPool:
 
     def _crash(self, worker: int, cause: BaseException) -> WorkerCrashError:
         # the pipe protocol is desynced once a worker is lost mid-exchange;
-        # refuse further dispatch until the pool is rebuilt
+        # refuse further dispatch until repair() resynchronizes the pool
         self._broken = True
         proc = self._procs[worker]
         proc.join(timeout=0.5)
@@ -135,6 +155,9 @@ class WorkerPool:
                 self._conns[w].send(msg)
             except (BrokenPipeError, OSError) as exc:
                 raise self._crash(w, exc) from exc
+            # a sent message owes a reply even if the send itself landed
+            # in the pipe buffer of an already-dead worker
+            self._pending.add(w)
         replies: dict[int, tuple[float, Any]] = {}
         failure: TaskError | None = None
         for w in messages:
@@ -142,6 +165,7 @@ class WorkerPool:
                 reply = self._conns[w].recv()
             except (EOFError, OSError) as exc:
                 raise self._crash(w, exc) from exc
+            self._pending.discard(w)
             if reply[0] == "err":
                 failure = failure or TaskError(
                     f"task failed on worker {w}:\n{reply[1]}"
@@ -213,6 +237,63 @@ class WorkerPool:
         self._exchange({w: ("del", key) for w in range(self.nworkers)})
 
     # ------------------------------------------------------------------
+    # Recovery: replace dead workers without rebuilding the pool
+    # ------------------------------------------------------------------
+    def repair(self, timeout: float = 5.0) -> list[int]:
+        """Replace dead workers and resynchronize the pipe protocol.
+
+        Call after a :class:`WorkerCrashError`: settles every
+        outstanding reply on surviving workers (draining stale replies
+        from the interrupted exchange), forks a fresh process (with a
+        fresh pipe) into each dead slot, and clears the broken flag so
+        dispatch works again — on the *same* pool object, preserving
+        arenas and rank placement.  A surviving worker that does not
+        answer within ``timeout`` seconds is treated as wedged and
+        replaced too.
+
+        Replaced workers start with empty object stores, so
+        ``registered_keys`` is cleared whenever any slot is replaced:
+        ensure-style callers (``DistContext.ensure_rank_objects``)
+        re-scatter on next use, and survivors just overwrite their copy.
+
+        Returns the sorted list of replaced worker slots (empty when the
+        pool was healthy).  Raises :class:`RuntimeError` on a closed
+        pool.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        dead: set[int] = set()
+        deadline = time.monotonic() + timeout
+        for w in sorted(self._pending):
+            conn = self._conns[w]
+            try:
+                if conn.poll(max(deadline - time.monotonic(), 0.0)):
+                    conn.recv()  # stale reply from the interrupted exchange
+                    self._pending.discard(w)
+                else:  # alive but unresponsive: replace rather than hang
+                    dead.add(w)
+            except (EOFError, OSError):
+                dead.add(w)
+        for w, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                dead.add(w)
+        for w in sorted(dead):
+            proc = self._procs[w]
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+            proc.join(timeout=timeout)
+            try:
+                self._conns[w].close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._spawn(w)
+            self._pending.discard(w)
+        self._broken = False
+        if dead:
+            self.registered_keys.clear()
+        return sorted(dead)
+
+    # ------------------------------------------------------------------
     # Shared-memory copy supersteps (the collectives' transport)
     # ------------------------------------------------------------------
     def run_copy(
@@ -248,22 +329,37 @@ class WorkerPool:
     # Teardown
     # ------------------------------------------------------------------
     def close(self, timeout: float = 2.0) -> None:
-        """Stop workers and free shared memory (idempotent, crash-safe)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop workers and free shared memory (idempotent, crash-safe).
+
+        Safe to call any number of times, from any thread, and during
+        interpreter exit: the first caller tears down, every later (or
+        concurrent) caller returns immediately, and each teardown step
+        is individually shielded so a half-dismantled runtime (dead
+        workers, multiprocessing internals already finalized by atexit)
+        cannot abort the rest of the cleanup.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for conn in self._conns:
             try:
                 conn.send(("exit",))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, ValueError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=timeout)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
+            try:
                 proc.join(timeout=timeout)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=timeout)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self.in_arena.close()
         self.out_arena.close()
         _LIVE_POOLS.discard(self)

@@ -164,3 +164,22 @@ def _lexsort3(state: RuntimeState, block: np.ndarray) -> np.ndarray:
         order = np.lexsort((block[:, 2], block[:, 1], block[:, 0]))
         block = block[order]
     return block
+
+
+# ----------------------------------------------------------------------
+# Serving tasks (the reordering service's executor)
+# ----------------------------------------------------------------------
+@task("service_rcm")
+def _service_rcm(state: RuntimeState, payload) -> tuple:
+    """One full reordering request (build + serial RCM) on a worker.
+
+    The service's serial lane: payloads come from
+    :func:`repro.service.requests.encode_request` and errors return
+    in-band (``("err", traceback)``) so one bad request cannot abort the
+    rest of its batch.  Registered here — not in :mod:`repro.service` —
+    so the task exists in workers under any start method, not only the
+    fork-inherited registry.
+    """
+    from ..service.requests import execute_request
+
+    return execute_request(payload)

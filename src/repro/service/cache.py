@@ -1,0 +1,65 @@
+"""Bounded LRU result cache of the reordering service.
+
+Stores *finished* results only — in-flight requests are deduplicated by
+the server's single-flight table, and a failed or crash-interrupted
+request is never inserted, so a poisoned computation cannot be served
+to later clients.  Capacity-bounded with least-recently-used eviction:
+the service is long-lived and the matrix universe is unbounded, so an
+unbounded dict would be a slow memory leak.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU ``key -> result`` map with hit/miss counters."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The cached result, or ``None``; refreshes recency and counts."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, result) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        """Drop ``key`` if present (idempotent)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({len(self._entries)}/{self.capacity} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,93 @@
+"""Matrix content-hashing: the service's cache and dedup identity.
+
+A request's identity is the *content* of the matrix it submits, not the
+object that carries it: two clients uploading the same graph — or the
+same client retrying — must land on one cache entry and one in-flight
+computation.  :func:`content_hash` digests the canonical CSR arrays
+(shape + ``indptr`` + ``indices`` + ``data``), which buys two properties
+for free:
+
+* **ingestion invariance** — ``CSRMatrix.from_coo`` coalesces duplicates
+  and sorts columns, so any chunking/ordering of the edges that denotes
+  the same matrix digests identically (pinned by the hypothesis suite);
+* **bit-sensitivity** — any structural or numerical difference changes
+  the digest, so distinct matrices can never share a cache entry.
+
+Named workloads (``zoo:rmat18``, suite names) are identified by their
+spec string instead: the generators are deterministic, so the name *is*
+the content, and hashing would force the driver to materialize a matrix
+it intends to build worker-side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["content_hash", "request_key", "build_spec"]
+
+#: Digest-cache slot on ``CSRMatrix._cache`` (structure arrays are
+#: immutable once constructed, so the digest never goes stale).
+_CACHE_SLOT = "service_content_hash"
+
+
+def content_hash(A: CSRMatrix) -> str:
+    """Hex digest of the matrix content (CSR shape + array bytes)."""
+    cached = A._cache.get(_CACHE_SLOT)
+    if cached is not None:
+        return cached
+    h = hashlib.blake2b(digest_size=20)
+    h.update(f"csr:{A.nrows}:{A.ncols}:".encode())
+    # __init__ made these contiguous int64/float64, so the byte streams
+    # are canonical for the (sorted, coalesced) CSR form
+    h.update(A.indptr.tobytes())
+    h.update(A.indices.tobytes())
+    h.update(A.data.tobytes())
+    digest = h.hexdigest()
+    A._cache[_CACHE_SLOT] = digest
+    return digest
+
+
+def request_key(matrix, nprocs: int | None) -> str:
+    """Cache/single-flight key of one request.
+
+    ``matrix`` is a :class:`CSRMatrix` or a spec string (``zoo:<name>``
+    or a paper-suite name).  The execution lane is part of the key:
+    serial and distributed runs return bit-identical orderings, but
+    their cost accounting differs, and a cached result must report the
+    cost of the lane that produced it.
+    """
+    if isinstance(matrix, CSRMatrix):
+        ident = "csr:" + content_hash(matrix)
+    elif isinstance(matrix, str):
+        ident = "spec:" + matrix
+    else:
+        raise TypeError(
+            f"expected a CSRMatrix or a spec string, got {type(matrix).__name__}"
+        )
+    lane = "serial" if nprocs is None else f"p{int(nprocs)}"
+    return f"{ident}|{lane}"
+
+
+def build_spec(spec: str, scale: float = 1.0) -> CSRMatrix:
+    """Materialize a spec string: graph-zoo entry or paper-suite surrogate.
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` for
+    stream-only zoo entries (``monolithic_ok=False``) — the service runs
+    the whole pipeline on one matrix per request, so the entry must fit.
+    """
+    if spec.startswith("zoo:"):
+        from ..matrices.zoo import zoo_entry
+
+        return zoo_entry(spec[len("zoo:") :]).build()
+    from ..matrices.suite import PAPER_SUITE
+
+    if spec not in PAPER_SUITE:
+        from ..matrices.zoo import GRAPH_ZOO
+
+        raise KeyError(
+            f"unknown matrix spec {spec!r}: expected 'zoo:<name>' "
+            f"({sorted(GRAPH_ZOO)}) or a suite name ({list(PAPER_SUITE)})"
+        )
+    return PAPER_SUITE[spec].build(scale)

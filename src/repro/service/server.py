@@ -1,0 +1,505 @@
+"""Ordering-as-a-service: the batched async reordering server.
+
+The paper's pipeline as a long-lived service (ROADMAP item 3): clients
+submit matrices (or ``zoo:``/suite spec strings) through an asyncio
+front-end, a scheduler coalesces concurrent requests into batches, and
+the batches execute on a warmed :class:`~repro.runtime.pool.WorkerPool`
+— one request per worker slot in the serial lane, or the full
+distributed algorithm on a warmed shared :class:`~repro.distributed.context.DistContext`
+for ``nprocs=`` requests.  Orderings are bit-identical to direct
+:func:`repro.rcm` calls; the service adds *serving* semantics:
+
+* **content-addressed caching** — results are keyed by the matrix
+  content-hash (:mod:`repro.service.hashing`) in a bounded LRU
+  (:mod:`repro.service.cache`);
+* **single-flight dedup** — identical concurrent submissions attach to
+  one in-flight computation and all receive its result;
+* **admission control / backpressure** — at most ``max_pending`` unique
+  jobs may be queued or running; beyond that, submissions fail fast
+  with a 429-style :class:`ServiceOverloadedError` instead of growing
+  an unbounded queue;
+* **per-request cost accounting** — every result carries a
+  :class:`~repro.machine.cost.CostLedger` region breakdown (measured
+  seconds in the serial lane, the modeled Fig. 4 ledger in the
+  distributed lane);
+* **crash recovery** — a worker SIGKILLed mid-batch is replaced in
+  place (:meth:`WorkerPool.repair`) and the affected requests are
+  re-queued (bounded by ``max_retries``) or failed cleanly; partial
+  results never enter the cache;
+* **graceful drain** — ``stop()`` refuses new work, finishes everything
+  accepted, then tears the pool down.
+
+Use :class:`ServiceClient` in-process (tests, embedding) or the
+``repro-serve`` TCP front-end (:mod:`repro.service.serve`) over the
+wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..runtime.pool import WorkerCrashError, WorkerPool
+from .cache import ResultCache
+from .hashing import request_key
+from .requests import encode_request
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceResult",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "RequestFailedError",
+    "ReorderingService",
+    "ServiceClient",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of service-level request failures."""
+
+    status = 500
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request (bounded queue full)."""
+
+    status = 429
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not accepting submissions (draining or stopped)."""
+
+    status = 503
+
+
+class RequestFailedError(ServiceError):
+    """The request itself failed (worker-side error or crash retries
+    exhausted); carries the underlying traceback text."""
+
+    status = 500
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service instance."""
+
+    #: worker processes in the pool (the serial lane runs one request
+    #: per worker slot; the distributed lane shares the same pool)
+    workers: int = 2
+    #: admission bound: unique jobs queued or running before 429s
+    max_pending: int = 32
+    #: unique requests coalesced into one pool dispatch
+    max_batch: int = 8
+    #: how long the scheduler holds an open batch for joiners
+    batch_window_ms: float = 2.0
+    #: re-queues granted to a request interrupted by a worker crash
+    max_retries: int = 1
+    #: bounded LRU result-cache capacity
+    cache_capacity: int = 256
+    #: scale forwarded to suite-name spec builds
+    scale: float = 1.0
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters; ``to_dict()`` is the snapshot/report shape."""
+
+    submitted: int = 0
+    accepted: int = 0  # unique jobs enqueued
+    rejected: int = 0  # admission-control 429s
+    cache_hits: int = 0
+    coalesced: int = 0  # single-flight joiners of an in-flight job
+    computed: int = 0  # unique jobs that finished successfully
+    failed: int = 0  # unique jobs that failed
+    batches: int = 0
+    worker_crashes: int = 0
+    workers_replaced: int = 0
+    retried: int = 0  # re-queues after a crash
+    cost_seconds: float = 0.0  # accounted cost of successful computes
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass(frozen=True)
+class _Computed:
+    """The shared outcome of one unique computation (immutable; every
+    waiter wraps it in its own :class:`ServiceResult`)."""
+
+    perm: np.ndarray
+    algorithm: str
+    n: int
+    lane: str
+    compute_ms: float
+    queue_ms: float
+    cost_seconds: float
+    cost_regions: dict[str, float]
+    retries: int
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What one submission resolves to."""
+
+    perm: np.ndarray  #: the RCM permutation (read-only view)
+    algorithm: str  #: e.g. ``"rcm-serial"`` / ``"rcm-distributed-p4"``
+    n: int
+    key: str  #: cache key (content hash + lane)
+    lane: str  #: ``"serial"`` or ``"distributed-p<k>"``
+    cache_hit: bool  #: served from the result cache
+    coalesced: bool  #: joined an in-flight identical request
+    retries: int  #: crash re-queues the computation survived
+    queue_ms: float  #: admission -> dispatch wait of the computation
+    compute_ms: float  #: execution wall of the computation
+    latency_ms: float  #: this submission's submit -> resolve wall
+    cost_seconds: float  #: accounted cost (measured or modeled)
+    cost_regions: dict[str, float]  #: CostLedger breakdown by region
+
+
+class _Job:
+    """One unique in-flight computation (single-flight unit)."""
+
+    __slots__ = ("key", "matrix", "nprocs", "future", "enqueued_at", "retries")
+
+    def __init__(self, key: str, matrix, nprocs, future) -> None:
+        self.key = key
+        self.matrix = matrix
+        self.nprocs = nprocs
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+        self.retries = 0
+
+
+class ReorderingService:
+    """The batching reordering server; one instance per event loop."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.config.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.stats = ServiceStats()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self._pool: WorkerPool | None = None
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._inflight: dict[str, _Job] = {}
+        self._dist_ctxs: dict[int, Any] = {}
+        self._scheduler_task: asyncio.Task | None = None
+        self._accepting = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ReorderingService":
+        """Fork and warm the worker pool, start the scheduler."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue()
+        self._pool = WorkerPool(self.config.workers)
+        self._pool.ping()  # warm: first dispatch pays no fork/attach cost
+        self._scheduler_task = asyncio.create_task(
+            self._scheduler(), name="repro-service-scheduler"
+        )
+        self._accepting = True
+        self._started = True
+        return self
+
+    async def drain(self) -> None:
+        """Wait until every accepted job has resolved (success or failure)."""
+        while self._inflight:
+            futures = [job.future for job in self._inflight.values()]
+            await asyncio.gather(
+                *(asyncio.shield(f) for f in futures), return_exceptions=True
+            )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new work, drain, tear down the pool."""
+        if not self._started:
+            return
+        self._accepting = False
+        await self.drain()
+        self._scheduler_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._scheduler_task
+        pool, self._pool = self._pool, None
+        self._dist_ctxs.clear()
+        if pool is not None:
+            await asyncio.to_thread(pool.close)
+        self._started = False
+
+    async def __aenter__(self) -> "ReorderingService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission (the client-facing half)
+    # ------------------------------------------------------------------
+    async def submit(self, matrix, *, nprocs: int | None = None) -> ServiceResult:
+        """Submit one matrix (or spec string) for reordering.
+
+        Resolves to a :class:`ServiceResult` whose ``perm`` is
+        bit-identical to ``repro.rcm(matrix)`` (serial lane) or
+        ``repro.rcm(matrix, nprocs=nprocs)`` (distributed lane).
+        Raises :class:`ServiceOverloadedError` when admission control
+        rejects, :class:`ServiceClosedError` when draining/stopped, and
+        :class:`RequestFailedError` when the computation itself fails.
+        """
+        t0 = time.perf_counter()
+        self.stats.submitted += 1
+        if not self._accepting:
+            raise ServiceClosedError("service is not accepting submissions")
+        key = request_key(matrix, nprocs)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return self._wrap(cached, key, t0, cache_hit=True, coalesced=False)
+        job = self._inflight.get(key)
+        if job is not None:
+            self.stats.coalesced += 1
+            computed = await asyncio.shield(job.future)
+            return self._wrap(computed, key, t0, cache_hit=False, coalesced=True)
+        if len(self._inflight) >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise ServiceOverloadedError(
+                f"admission control: {len(self._inflight)} jobs pending "
+                f"(max_pending={self.config.max_pending}); retry later"
+            )
+        job = _Job(key, matrix, nprocs, asyncio.get_running_loop().create_future())
+        self._inflight[key] = job
+        self.stats.accepted += 1
+        self._queue.put_nowait(job)
+        computed = await asyncio.shield(job.future)
+        return self._wrap(computed, key, t0, cache_hit=False, coalesced=False)
+
+    def _wrap(
+        self, computed: _Computed, key: str, t0: float, *, cache_hit: bool,
+        coalesced: bool,
+    ) -> ServiceResult:
+        return ServiceResult(
+            perm=computed.perm,
+            algorithm=computed.algorithm,
+            n=computed.n,
+            key=key,
+            lane=computed.lane,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            retries=computed.retries,
+            queue_ms=computed.queue_ms,
+            compute_ms=computed.compute_ms,
+            latency_ms=(time.perf_counter() - t0) * 1000.0,
+            cost_seconds=computed.cost_seconds,
+            cost_regions=dict(computed.cost_regions),
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler (the batching half)
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.config.batch_window_ms / 1000.0
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    try:  # window over: take only what is already queued
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            try:
+                await self._run_batch(batch)
+            except Exception as exc:
+                # the scheduler must outlive any batch: fail whatever is
+                # still in flight and keep serving the queue
+                for job in batch:
+                    if self._inflight.get(job.key) is job:
+                        self._fail(
+                            job,
+                            RequestFailedError(f"batch execution failed: {exc!r}"),
+                        )
+
+    async def _run_batch(self, batch: list[_Job]) -> None:
+        self.stats.batches += 1
+        dispatched_at = time.perf_counter()
+        serial = [job for job in batch if job.nprocs is None]
+        if serial:
+            payloads = [
+                encode_request(job.matrix, self.config.scale) for job in serial
+            ]
+            try:
+                t0 = time.perf_counter()
+                replies, _, _ = await asyncio.to_thread(
+                    self._pool.map_ranks, "service_rcm", payloads
+                )
+                wall_ms = (time.perf_counter() - t0) * 1000.0
+            except WorkerCrashError as exc:
+                await self._recover(serial, exc)
+            else:
+                for job, reply in zip(serial, replies):
+                    self._finish_serial(job, reply, dispatched_at, wall_ms)
+        for job in [job for job in batch if job.nprocs is not None]:
+            try:
+                computed = await asyncio.to_thread(
+                    self._run_distributed, job, dispatched_at
+                )
+            except WorkerCrashError as exc:
+                await self._recover([job], exc)
+            except Exception as exc:
+                self._fail(job, RequestFailedError(f"{type(exc).__name__}: {exc}"))
+            else:
+                self._finish(job, computed)
+
+    # ------------------------------------------------------------------
+    # Lanes
+    # ------------------------------------------------------------------
+    def _finish_serial(
+        self, job: _Job, reply: tuple, dispatched_at: float, wall_ms: float
+    ) -> None:
+        if reply[0] == "err":
+            self._fail(
+                job, RequestFailedError(f"request failed on worker:\n{reply[1]}")
+            )
+            return
+        _, perm, algorithm, n, regions, cost_seconds = reply
+        self._finish(
+            job,
+            _Computed(
+                perm=perm,
+                algorithm=algorithm,
+                n=n,
+                lane="serial",
+                compute_ms=wall_ms,
+                queue_ms=(dispatched_at - job.enqueued_at) * 1000.0,
+                cost_seconds=cost_seconds,
+                cost_regions=regions,
+                retries=job.retries,
+            ),
+        )
+
+    def _run_distributed(self, job: _Job, dispatched_at: float) -> _Computed:
+        """The distributed lane: runs in a thread, on the shared pool."""
+        from .hashing import build_spec
+
+        matrix = job.matrix
+        if isinstance(matrix, str):
+            matrix = build_spec(matrix, self.config.scale)
+        ctx = self._dist_ctx(job.nprocs)
+        t0 = time.perf_counter()
+        result = _rcm_distributed()(matrix, ctx=ctx.fork_ledger())
+        compute_ms = (time.perf_counter() - t0) * 1000.0
+        return _Computed(
+            perm=result.ordering.perm,
+            algorithm=result.ordering.algorithm,
+            n=matrix.nrows,
+            lane=f"distributed-p{job.nprocs}",
+            compute_ms=compute_ms,
+            queue_ms=(dispatched_at - job.enqueued_at) * 1000.0,
+            # modeled charges arrive as numpy scalars; plain floats keep
+            # results JSON-serializable end to end (the TCP front-end)
+            cost_seconds=float(result.ledger.total_seconds),
+            cost_regions={
+                k: float(v) for k, v in result.ledger.breakdown().items()
+            },
+            retries=job.retries,
+        )
+
+    def _dist_ctx(self, nprocs: int):
+        """Warmed processes-engine context per grid size (shared pool)."""
+        ctx = self._dist_ctxs.get(nprocs)
+        if ctx is None:
+            from ..distributed.context import DistContext
+            from ..machine.grid import ProcessGrid
+
+            ctx = DistContext(
+                ProcessGrid.square(nprocs), engine="processes", pool=self._pool
+            )
+            ctx.warm()
+            self._dist_ctxs[nprocs] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Completion, failure, crash recovery
+    # ------------------------------------------------------------------
+    def _finish(self, job: _Job, computed: _Computed) -> None:
+        computed.perm.setflags(write=False)  # shared across all waiters
+        self.cache.put(job.key, computed)
+        self._inflight.pop(job.key, None)
+        self.stats.computed += 1
+        self.stats.cost_seconds += float(computed.cost_seconds)
+        if not job.future.done():
+            job.future.set_result(computed)
+
+    def _fail(self, job: _Job, exc: ServiceError) -> None:
+        # a failed computation must leave no trace: not in the cache
+        # (no poisoning) and not in the single-flight table (a retry
+        # submission recomputes instead of joining a corpse)
+        self.cache.discard(job.key)
+        self._inflight.pop(job.key, None)
+        self.stats.failed += 1
+        if not job.future.done():
+            job.future.set_exception(exc)
+
+    async def _recover(self, jobs: list[_Job], exc: WorkerCrashError) -> None:
+        """A worker died mid-batch: replace it, re-queue or fail jobs."""
+        self.stats.worker_crashes += 1
+        replaced = await asyncio.to_thread(self._pool.repair)
+        self.stats.workers_replaced += len(replaced)
+        for job in jobs:
+            job.retries += 1
+            if job.retries > self.config.max_retries:
+                self._fail(
+                    job,
+                    RequestFailedError(
+                        f"worker crashed and retries exhausted "
+                        f"({self.config.max_retries}): {exc}"
+                    ),
+                )
+            else:
+                self.stats.retried += 1
+                self._queue.put_nowait(job)
+
+
+def _rcm_distributed():
+    """Late import: the distributed driver pulls in the whole layer."""
+    from ..distributed.rcm import rcm_distributed
+
+    return rcm_distributed
+
+
+class ServiceClient:
+    """In-process client of a running :class:`ReorderingService`.
+
+    The test-and-embedding front-end the TCP server
+    (:mod:`repro.service.serve`) is also built on: one ``reorder`` call
+    per request, stats on demand.
+    """
+
+    def __init__(self, service: ReorderingService) -> None:
+        self._service = service
+
+    async def reorder(self, matrix, *, nprocs: int | None = None) -> ServiceResult:
+        """Submit and await one reordering request."""
+        return await self._service.submit(matrix, nprocs=nprocs)
+
+    def stats(self) -> dict:
+        """Current service counters (monotonic)."""
+        return self._service.stats.to_dict()

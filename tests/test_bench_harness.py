@@ -41,6 +41,7 @@ def test_registry_complete():
         "semiring-ablation",
         "skyline",
         "ingest",
+        "service",
         "quality",
         "calibration",
     }

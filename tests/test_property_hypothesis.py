@@ -6,6 +6,7 @@ bucket-sort agreement with the serial sort, and metric consistency.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -180,3 +181,125 @@ def test_reversal_preserves_bandwidth(g):
     assert bandwidth_of_permutation(A, perm) == bandwidth_of_permutation(
         A, perm[::-1].copy()
     )
+
+
+# ----------------------------------------------------------------------
+# Reordering service (one shared service on a background event loop —
+# forking a worker pool per example would dominate the suite)
+# ----------------------------------------------------------------------
+class _ServiceLoop:
+    """A running :class:`ReorderingService` on a dedicated loop thread.
+
+    ``hypothesis`` drives examples from the pytest thread; the service
+    lives on its own event loop so every example can submit through
+    ``run_coroutine_threadsafe`` without paying a pool fork.
+    """
+
+    def __init__(self):
+        import asyncio
+        import threading
+
+        from repro.service import ReorderingService, ServiceConfig
+
+        self._asyncio = asyncio
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="service-loop", daemon=True
+        )
+        self.thread.start()
+        self.service = self.call(
+            ReorderingService(
+                ServiceConfig(workers=2, max_pending=64, cache_capacity=32)
+            ).start()
+        )
+
+    def call(self, coro):
+        return self._asyncio.run_coroutine_threadsafe(coro, self.loop).result(120)
+
+    def close(self):
+        self.call(self.service.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def service_loop():
+    sl = _ServiceLoop()
+    yield sl
+    sl.close()
+
+
+@pytest.mark.service
+@given(graphs(max_n=24))
+@settings(max_examples=20, deadline=None)
+def test_service_always_bit_identical_to_direct_rcm(service_loop, g):
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    r = service_loop.call(service_loop.service.submit(A))
+    assert np.array_equal(r.perm, rcm_serial(A).perm)
+
+
+@pytest.mark.service
+@given(graphs(max_n=20), st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_identical_concurrent_submissions_compute_once(service_loop, g, k):
+    import asyncio
+
+    n, edges = g
+    A = csr_from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    svc = service_loop.service
+
+    async def burst():
+        svc.cache.clear()  # force a fresh compute for this example
+        before = svc.stats.computed
+        results = await asyncio.gather(*(svc.submit(A) for _ in range(k)))
+        return before, results
+
+    before, results = service_loop.call(burst())
+    # single flight: one compute, k identical responses
+    assert svc.stats.computed - before == 1
+    assert sum(r.coalesced for r in results) == k - 1
+    assert len({r.perm.tobytes() for r in results}) == 1
+    assert np.array_equal(results[0].perm, rcm_serial(A).perm)
+
+
+@pytest.mark.service
+@given(graphs(max_n=24), st.integers(1, 9), st.integers(1, 9))
+@settings(max_examples=30, deadline=None)
+def test_content_hash_invariant_to_ingestion_chunk_size(g, c1, c2):
+    """The service's request identity cannot depend on how the matrix
+    was ingested: streaming the same edge list in different chunk sizes
+    (mirrored chunk-by-chunk, like the sharded ingestion path) must
+    canonicalize to the same CSR and therefore the same content hash."""
+    from repro.service import content_hash
+    from repro.sparse import COOMatrix, CSRMatrix
+    from repro.sparse.stream import UndirectedEdgeStream
+
+    n, edges = g
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+    def assemble(chunk_entries):
+        stream = UndirectedEdgeStream(
+            n,
+            lambda: (
+                e[i:i + chunk_entries] for i in range(0, max(len(e), 1), chunk_entries)
+            ),
+        )
+        rows, cols, vals = [], [], []
+        for r, c, v in stream.chunks():
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+        coo = COOMatrix(
+            n,
+            n,
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64),
+            np.concatenate(cols) if cols else np.empty(0, dtype=np.int64),
+            np.concatenate(vals) if vals else np.empty(0, dtype=np.float64),
+        )
+        return CSRMatrix.from_coo(coo)
+
+    monolithic = csr_from_edges(n, e)
+    A1, A2 = assemble(c1), assemble(c2)
+    assert content_hash(A1) == content_hash(A2) == content_hash(monolithic)

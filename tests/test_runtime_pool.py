@@ -152,3 +152,142 @@ def test_close_is_idempotent_and_kills_workers():
 def test_pool_requires_at_least_one_worker():
     with pytest.raises(ValueError):
         WorkerPool(0)
+
+
+# ----------------------------------------------------------------------
+# repair(): in-place worker replacement after a crash
+# ----------------------------------------------------------------------
+def test_repair_replaces_dead_worker_in_place(pool):
+    victim = pool.pids[0]
+    os.kill(victim, signal.SIGKILL)
+    deadline = time.time() + 5.0
+    with pytest.raises(WorkerCrashError):
+        while time.time() < deadline:
+            pool.map_ranks("ping", [1, 2])
+            time.sleep(0.05)
+    replaced = pool.repair()
+    assert 0 in replaced
+    assert pool.pids[0] != victim
+    # same pool object, dispatch works again, rank order preserved
+    results, _, _ = pool.map_ranks("_test_double", [1, 2, 3])
+    assert results == [2, 4, 6]
+
+
+def test_repair_on_healthy_pool_is_a_noop(pool):
+    pool.scatter_object("blocks", ["a", "b"])
+    assert pool.repair() == []
+    assert "blocks" in pool.registered_keys  # nothing replaced, nothing lost
+
+
+def test_repair_clears_registered_keys_for_rescatter(pool):
+    pool.scatter_object("blocks", ["a", "b"])
+    os.kill(pool.pids[1], signal.SIGKILL)
+    deadline = time.time() + 5.0
+    with pytest.raises(WorkerCrashError):
+        while time.time() < deadline:
+            pool.map_ranks("ping", [1, 2])
+            time.sleep(0.05)
+    assert 1 in pool.repair()
+    # the replacement worker lost its objects; the contract is "re-scatter"
+    assert "blocks" not in pool.registered_keys
+    pool.scatter_object("blocks", ["a2", "b2"])
+    results, _, _ = pool.map_ranks("_test_read_object", ["blocks", "blocks"])
+    assert results == ["a2", "b2"]
+
+
+def test_repair_settles_survivor_replies_mid_exchange(pool):
+    # kill worker 0 while worker 1's reply is still owed: repair must
+    # drain the stale reply or the next exchange reads garbage
+    os.kill(pool.pids[0], signal.SIGKILL)
+    deadline = time.time() + 5.0
+    with pytest.raises(WorkerCrashError):
+        while time.time() < deadline:
+            pool.map_ranks("_test_double", [10, 20])
+            time.sleep(0.05)
+    pool.repair()
+    for _ in range(3):  # the protocol stays in sync across exchanges
+        results, _, _ = pool.map_ranks("_test_double", [1, 2])
+        assert results == [2, 4]
+
+
+def test_repair_refuses_closed_pool():
+    pool = WorkerPool(2)
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.repair()
+
+
+# ----------------------------------------------------------------------
+# Teardown idempotency under double-close / interpreter-exit raciness
+# ----------------------------------------------------------------------
+def test_close_is_thread_safe_under_concurrent_double_close():
+    import threading
+
+    pool = WorkerPool(2)
+    pool.map_ranks("ping", [0, 1])
+    pids = pool.pids
+    errors = []
+
+    def closer():
+        try:
+            pool.close()
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    for pid in pids:
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"worker {pid} still alive after concurrent close()")
+
+
+def test_close_after_crash_then_repair_refused(pool):
+    os.kill(pool.pids[0], signal.SIGKILL)
+    deadline = time.time() + 5.0
+    with pytest.raises(WorkerCrashError):
+        while time.time() < deadline:
+            pool.map_ranks("ping", [1, 2])
+            time.sleep(0.05)
+    pool.close()
+    pool.close()  # double close after a crash: still silent
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.repair()
+
+
+def test_leaked_pool_exits_cleanly_at_interpreter_exit():
+    """A leaked (never closed) pool — even with a dead worker — must not
+    traceback at interpreter exit; the atexit hook and __del__ race."""
+    import subprocess
+    import sys
+
+    script = """
+import os, signal, sys, time
+sys.path.insert(0, %r)
+from repro.runtime import WorkerPool
+
+pool = WorkerPool(2)
+pool.map_ranks("ping", [0, 1])
+os.kill(pool.pids[0], signal.SIGKILL)
+time.sleep(0.2)
+# no close(): atexit + __del__ must both cope, in either order
+"""
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script % os.path.abspath(src)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Traceback" not in proc.stderr, proc.stderr

@@ -1,0 +1,120 @@
+"""Concurrent load on the reordering service.
+
+The acceptance scenario of the service PR: at least 64 simultaneous
+submissions against a 2-worker pool, with a known duplicate ratio —
+every accepted request completes bit-identical to a direct ``rcm``
+call, the dedup machinery (single-flight + content-hash cache) serves
+every duplicate, and under a deliberately tight admission bound the
+rejection count is exact and rejections never wedge the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.rcm_serial import rcm_serial
+from repro.matrices import stencil_2d
+from repro.matrices.suite import PAPER_SUITE
+from repro.service import (
+    ReorderingService,
+    ServiceConfig,
+    ServiceOverloadedError,
+)
+from tests.conftest import csr_from_edges
+
+pytestmark = pytest.mark.service
+
+
+def test_64_concurrent_submissions_on_two_workers():
+    # 8 unique requests x 8 duplicates each = 64 concurrent submissions,
+    # half submitted as CSR content (the content-hash path), half as
+    # suite spec strings (the worker-side build path)
+    csr_uniques = [stencil_2d(12 + 3 * i, 15) for i in range(4)]
+    spec_uniques = ["nd24k", "ldoor", "serena", "flan_1565"]
+    uniques = list(csr_uniques) + list(spec_uniques)
+    expected = [rcm_serial(A).perm for A in csr_uniques] + [
+        rcm_serial(PAPER_SUITE[s].build(1.0)).perm for s in spec_uniques
+    ]
+    workload = [uniques[i % len(uniques)] for i in range(64)]
+
+    async def go():
+        config = ServiceConfig(workers=2, max_pending=64, cache_capacity=16)
+        async with ReorderingService(config) as svc:
+            results = await asyncio.gather(*(svc.submit(m) for m in workload))
+            assert len(results) == 64
+            # every accepted request completed, bit-identical to direct rcm
+            for i, r in enumerate(results):
+                assert np.array_equal(r.perm, expected[i % len(uniques)])
+            # single-flight dedup: each unique request computed exactly once
+            assert svc.stats.rejected == 0
+            assert svc.stats.computed == len(uniques)
+            served = svc.stats.cache_hits + svc.stats.coalesced
+            assert served == 64 - len(uniques)
+            # the cache hit rate matches the workload's duplicate ratio
+            hit_rate = served / svc.stats.submitted
+            assert hit_rate == (64 - len(uniques)) / 64
+            # and the warm cache now serves every unique directly
+            warm = await asyncio.gather(*(svc.submit(m) for m in uniques))
+            assert all(r.cache_hit for r in warm)
+
+    asyncio.run(go())
+
+
+def test_tight_admission_bound_rejects_exactly_and_exactly_429():
+    # 32 distinct small graphs racing into a queue that admits only 4:
+    # submissions run their admission checks before the scheduler gets
+    # the CPU, so exactly max_pending are accepted, the rest rejected
+    matrices = [
+        csr_from_edges(20 + i, [(j, j + 1) for j in range(19 + i)])
+        for i in range(32)
+    ]
+
+    async def go():
+        config = ServiceConfig(workers=2, max_pending=4)
+        async with ReorderingService(config) as svc:
+            outcomes = await asyncio.gather(
+                *(svc.submit(A) for A in matrices), return_exceptions=True
+            )
+            accepted = [
+                (i, r) for i, r in enumerate(outcomes)
+                if not isinstance(r, Exception)
+            ]
+            rejected = [r for r in outcomes if isinstance(r, Exception)]
+            assert len(accepted) == 4 and len(rejected) == 28
+            assert all(isinstance(e, ServiceOverloadedError) for e in rejected)
+            assert all(e.status == 429 for e in rejected)
+            assert svc.stats.rejected == 28
+            # every accepted request completed bit-identically
+            for i, r in accepted:
+                assert np.array_equal(r.perm, rcm_serial(matrices[i]).perm)
+            # rejections are bounded AND transient: once the wave
+            # resolves, previously rejected requests are admitted
+            retry = await asyncio.gather(*(svc.submit(A) for A in matrices[4:8]))
+            for A, r in zip(matrices[4:8], retry):
+                assert np.array_equal(r.perm, rcm_serial(A).perm)
+
+    asyncio.run(go())
+
+
+def test_sustained_waves_keep_the_pool_and_cache_consistent():
+    # several back-to-back waves of the same mixed workload: wave 1
+    # computes, every later wave is served entirely by the cache
+    uniques = [stencil_2d(10 + i, 11) for i in range(6)]
+    expected = [rcm_serial(A).perm for A in uniques]
+
+    async def go():
+        config = ServiceConfig(workers=2, max_pending=32, cache_capacity=8)
+        async with ReorderingService(config) as svc:
+            for wave in range(4):
+                results = await asyncio.gather(
+                    *(svc.submit(A) for A in uniques for _ in range(3))
+                )
+                for i, r in enumerate(results):
+                    assert np.array_equal(r.perm, expected[i // 3])
+                assert svc.stats.computed == len(uniques)  # wave 1 only
+            assert svc.stats.cache_hits + svc.stats.coalesced == 4 * 18 - 6
+
+    asyncio.run(go())
