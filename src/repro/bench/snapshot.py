@@ -348,6 +348,23 @@ def collect_metrics(config: SnapshotConfig) -> dict[str, dict]:
     metrics["service.dedup.hit_rate"] = _metric(
         svc["hit_rate"], "ratio", "higher", normalize=False, scale=scale, gate=False
     )
+    # Disk tier: restart a service on a populated cache directory and
+    # serve everything from checksum-verified entries.  The measurement
+    # itself enforces disk_hits == unique and computed == 0, so a
+    # recorded number doubles as a persistence-correctness check.  Both
+    # timings mix service start/stop, fork and filesystem latency —
+    # informational (gate=false), like the rest of the service block.
+    from .harness import measure_disk_cache
+
+    disk = measure_disk_cache(workers=2, unique=config.service_unique, scale=scale)
+    metrics["service.disk_cache.hit.latency_ms"] = _metric(
+        disk["hit_latency_ms"], "ms", "lower", normalize=False, scale=scale,
+        gate=False,
+    )
+    metrics["service.disk_cache.recovery.seconds"] = _metric(
+        disk["recovery_seconds"], "s", "lower", normalize=False, scale=scale,
+        gate=False,
+    )
 
     # -------- processes-engine calibration (per-phase SpMSpV times) -----
     metrics.update(_calibration_metrics(config))

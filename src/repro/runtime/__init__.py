@@ -42,12 +42,13 @@ Layout
 
 from .calibration import calibration_rows, format_calibration
 from .engine import ProcessCollectiveEngine
-from .pool import TaskError, WorkerCrashError, WorkerPool
+from .pool import TaskError, WorkerCrashError, WorkerPool, WorkerTimeoutError
 from .tasks import TASKS, task
 
 __all__ = [
     "WorkerPool",
     "WorkerCrashError",
+    "WorkerTimeoutError",
     "TaskError",
     "ProcessCollectiveEngine",
     "TASKS",

@@ -12,12 +12,18 @@ pipe.  Simulated ranks map onto workers in contiguous chunks
 same worker.
 
 Failure model: a worker that dies (killed, OOM, segfault) surfaces as
-:class:`WorkerCrashError` on the next dispatch; a task that merely
-raises surfaces as :class:`TaskError` carrying the worker-side traceback
-while the worker — and the pool — stay usable.  After a crash the pool
-refuses further dispatch until :meth:`repair` replaces the dead workers
-in place (fresh processes, fresh pipes, same pool object) — the serving
-layer's recovery path, which avoids refork-the-world restarts.
+:class:`WorkerCrashError` on the next dispatch; a worker that *hangs* —
+wedged in a syscall, spinning, or silently dropping its reply — is
+detected by the per-exchange **deadline** (``conn``-level ``wait`` with
+a timeout instead of a blocking ``recv``), SIGKILLed, and surfaced as
+:class:`WorkerTimeoutError` (a :class:`WorkerCrashError` subclass, so
+every existing recovery path treats it as a retriable crash); a task
+that merely raises surfaces as :class:`TaskError` carrying *every*
+failed worker's traceback while the workers — and the pool — stay
+usable.  After a crash the pool refuses further dispatch until
+:meth:`repair` replaces the dead workers in place (fresh processes,
+fresh pipes, same pool object) — the serving layer's recovery path,
+which avoids refork-the-world restarts.
 ``close()`` is idempotent (including concurrent double-close from a
 service thread racing the interpreter-exit hook), runs at interpreter
 exit for any leaked pool, and tears down processes and shared-memory
@@ -32,20 +38,33 @@ import os
 import threading
 import time
 import weakref
+from multiprocessing.connection import wait as _wait_ready
 from typing import Any, Sequence
 
+from .. import faults
 from .shm import Arena
 from .worker import worker_main
 
-__all__ = ["WorkerPool", "WorkerCrashError", "TaskError"]
+__all__ = ["WorkerPool", "WorkerCrashError", "WorkerTimeoutError", "TaskError"]
+
+#: Sentinel distinguishing "use the pool default deadline" from an
+#: explicit ``deadline=None`` (wait forever) on a single call.
+_UNSET = object()
 
 
 class WorkerCrashError(RuntimeError):
     """A worker process died; the pool can no longer complete supersteps."""
 
 
+class WorkerTimeoutError(WorkerCrashError):
+    """A worker missed the exchange deadline: declared wedged and
+    SIGKILLed.  Subclasses :class:`WorkerCrashError` so hang recovery
+    rides the exact crash path — :meth:`WorkerPool.repair` replaces the
+    killed workers in place and callers retry or fail cleanly."""
+
+
 class TaskError(RuntimeError):
-    """A task raised on a worker; carries the remote traceback."""
+    """Tasks raised on workers; carries every failed worker's traceback."""
 
 
 _LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
@@ -60,9 +79,20 @@ def _close_leaked_pools() -> None:  # pragma: no cover - interpreter teardown
 class WorkerPool:
     """A fixed set of worker processes executing named tasks."""
 
-    def __init__(self, nworkers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        nworkers: int,
+        start_method: str | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """``deadline`` is the default per-exchange reply deadline in
+        seconds (``None`` waits forever — the historical behavior).
+        Every dispatch can override it per call."""
         if nworkers < 1:
             raise ValueError("need at least one worker")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
         method = start_method or os.environ.get("REPRO_START_METHOD", "fork")
         ctx = mp.get_context(method)
         # Start the shared-memory resource tracker *before* forking, so every
@@ -142,15 +172,56 @@ class WorkerPool:
             f"(exitcode {proc.exitcode}): {cause!r}"
         )
 
-    def _exchange(self, messages: dict[int, tuple]) -> dict[int, tuple[float, Any]]:
+    def _wedged(self, waiting: set[int], deadline: float) -> WorkerTimeoutError:
+        """Declare every still-unanswered worker wedged: SIGKILL them,
+        mark the pool broken, and build the timeout error.  The killed
+        workers stay in ``_pending`` — :meth:`repair` settles them (their
+        pipes now read EOF) exactly like externally killed workers."""
+        self._broken = True
+        details = []
+        for w in sorted(waiting):
+            proc = self._procs[w]
+            details.append(f"worker {w} (pid {proc.pid})")
+            proc.kill()
+        return WorkerTimeoutError(
+            f"deadline ({deadline:.3g}s) exceeded waiting for "
+            f"{', '.join(details)}; wedged workers were SIGKILLed — "
+            f"repair() replaces them in place"
+        )
+
+    def _inject_send_fault(self, msg: tuple) -> tuple:
+        """Replace ``msg`` with a fault order when an armed worker fault
+        fires.  Decisions are driver-side (message sends are the hit
+        counter), so respawned workers start clean and a bounded spec
+        lets the retry after repair() succeed deterministically."""
+        spec = faults.fire("worker.hang")
+        if spec is not None:
+            return ("fault", "hang", spec.seed)
+        spec = faults.fire("worker.crash")
+        if spec is not None:
+            return ("fault", "crash", spec.seed)
+        return msg
+
+    def _exchange(
+        self, messages: dict[int, tuple], deadline: float | None | object = _UNSET
+    ) -> dict[int, tuple[float, Any]]:
         """Send one message per worker, collect one reply per worker.
 
-        Returns ``{worker: (elapsed_seconds, results)}``; raises
+        Replies are collected through a ``wait``/``poll`` loop bounded by
+        ``deadline`` seconds (the pool default unless overridden): a
+        worker that has not answered when it expires is SIGKILLed and the
+        whole exchange raises :class:`WorkerTimeoutError`.  Returns
+        ``{worker: (elapsed_seconds, results)}``; raises
         :class:`WorkerCrashError` if any addressed worker is gone and
-        :class:`TaskError` if any task raised remotely.
+        :class:`TaskError` — aggregating *every* failed worker's remote
+        traceback — if any task raised.
         """
         self._check_open()
+        if deadline is _UNSET:
+            deadline = self.deadline
         for w, msg in messages.items():
+            if faults.active():
+                msg = self._inject_send_fault(msg)
             try:
                 self._conns[w].send(msg)
             except (BrokenPipeError, OSError) as exc:
@@ -158,32 +229,60 @@ class WorkerPool:
             # a sent message owes a reply even if the send itself landed
             # in the pipe buffer of an already-dead worker
             self._pending.add(w)
+        waiting = set(messages)
+        conn_owner = {id(self._conns[w]): w for w in waiting}
+        deadline_at = (
+            None if deadline is None else time.monotonic() + float(deadline)
+        )
         replies: dict[int, tuple[float, Any]] = {}
-        failure: TaskError | None = None
-        for w in messages:
-            try:
-                reply = self._conns[w].recv()
-            except (EOFError, OSError) as exc:
-                raise self._crash(w, exc) from exc
-            self._pending.discard(w)
-            if reply[0] == "err":
-                failure = failure or TaskError(
-                    f"task failed on worker {w}:\n{reply[1]}"
-                )
-            else:
-                replies[w] = (reply[1], reply[2])
-        if failure is not None:
-            raise failure
+        failures: list[tuple[int, str]] = []
+        while waiting:
+            timeout = None
+            if deadline_at is not None:
+                timeout = max(deadline_at - time.monotonic(), 0.0)
+            ready = _wait_ready([self._conns[w] for w in waiting], timeout)
+            if not ready:
+                raise self._wedged(waiting, float(deadline))
+            for conn in ready:
+                w = conn_owner[id(conn)]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise self._crash(w, exc) from exc
+                if faults.fire("pipe.drop_reply") is not None:
+                    # the reply is "lost in transit": the work happened
+                    # but the answer never arrives, so only the deadline
+                    # can detect the stall (hang-detection's worst case)
+                    continue
+                waiting.discard(w)
+                self._pending.discard(w)
+                if reply[0] == "err":
+                    failures.append((w, reply[1]))
+                else:
+                    replies[w] = (reply[1], reply[2])
+        if failures:
+            detail = "\n".join(
+                f"task failed on worker {w}:\n{tb}" for w, tb in failures
+            )
+            raise TaskError(
+                f"{len(failures)} worker task(s) failed:\n{detail}"
+                if len(failures) > 1
+                else detail
+            )
         return replies
 
     def map_ranks(
-        self, name: str, payloads: Sequence[Any]
+        self,
+        name: str,
+        payloads: Sequence[Any],
+        deadline: float | None | object = _UNSET,
     ) -> tuple[list[Any], float, float]:
         """Run task ``name`` once per rank payload, on the ranks' workers.
 
         Every worker receives a message (possibly with an empty payload
         list), making each call a full synchronization point — the BSP
-        superstep semantics the modeled ledger assumes.  Returns
+        superstep semantics the modeled ledger assumes.  ``deadline``
+        bounds the reply wait (pool default unless given).  Returns
         ``(results_in_rank_order, max_worker_seconds, wall_seconds)``.
         """
         t0 = time.perf_counter()
@@ -192,7 +291,8 @@ class WorkerPool:
         for rank, payload in enumerate(payloads):
             per_worker[owner[rank]].append(payload)
         replies = self._exchange(
-            {w: ("map", name, items) for w, items in per_worker.items()}
+            {w: ("map", name, items) for w, items in per_worker.items()},
+            deadline=deadline,
         )
         wall = time.perf_counter() - t0
         worker_secs = max(elapsed for elapsed, _ in replies.values())

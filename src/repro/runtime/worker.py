@@ -19,14 +19,22 @@ Protocol (driver -> worker over one duplex pipe):
     None)``.
 ``("exit",)``
     Clean shutdown: close shared-memory attachments and return.
+``("fault", mode, seed)``
+    Deterministic fault injection (:mod:`repro.faults`, driver-armed):
+    ``"hang"`` sleeps far past any plausible deadline without replying —
+    the wedged-worker scenario the pool's deadline detection exists for;
+    ``"crash"`` exits immediately with status 137, indistinguishable
+    from an external SIGKILL.
 
 A task that raises replies ``("err", traceback_text)`` and the worker
 *survives* — one poisoned superstep must not take the pool down.  Only
-pipe loss (driver gone) or ``exit`` terminates the loop.
+pipe loss (driver gone), ``exit``, or an injected crash terminates the
+loop.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
@@ -35,6 +43,10 @@ from .shm import AttachCache
 from .tasks import TASKS, RuntimeState
 
 __all__ = ["worker_main"]
+
+#: How long an injected hang sleeps: far beyond any configured deadline,
+#: so the driver's timeout machinery — never this constant — ends it.
+_HANG_SECONDS = 3600.0
 
 
 def worker_main(worker_id: int, conn) -> None:
@@ -55,6 +67,11 @@ def worker_main(worker_id: int, conn) -> None:
             kind = msg[0]
             if kind == "exit":
                 break
+            if kind == "fault":
+                if msg[1] == "crash":
+                    os._exit(137)  # a real death: no cleanup, no reply
+                time.sleep(_HANG_SECONDS)  # "hang": never reply
+                continue
             try:
                 if kind == "map":
                     _, name, payloads = msg

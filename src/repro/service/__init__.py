@@ -15,7 +15,9 @@ Layout
 ``hashing``
     Content-hash request identity and spec materialization.
 ``cache``
-    Bounded LRU result cache (finished results only).
+    Bounded LRU result cache + the crash-safe persistent disk tier
+    (atomic writes, checksum-verified reads, quarantine for corrupt
+    entries; finished results only).
 ``requests``
     Picklable request payloads + worker-side execution.
 ``server``
@@ -27,11 +29,12 @@ Layout
 See DESIGN.md section 11 for the architecture and failure model.
 """
 
-from .cache import ResultCache
+from .cache import DiskResultCache, ResultCache
 from .hashing import build_spec, content_hash, request_key
 from .server import (
     ReorderingService,
     RequestFailedError,
+    RequestTimeoutError,
     ServiceClient,
     ServiceClosedError,
     ServiceConfig,
@@ -51,7 +54,9 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "RequestFailedError",
+    "RequestTimeoutError",
     "ResultCache",
+    "DiskResultCache",
     "content_hash",
     "request_key",
     "build_spec",

@@ -1,19 +1,47 @@
-"""Bounded LRU result cache of the reordering service.
+"""Result caches of the reordering service: in-memory LRU + disk tier.
 
-Stores *finished* results only — in-flight requests are deduplicated by
-the server's single-flight table, and a failed or crash-interrupted
-request is never inserted, so a poisoned computation cannot be served
-to later clients.  Capacity-bounded with least-recently-used eviction:
-the service is long-lived and the matrix universe is unbounded, so an
-unbounded dict would be a slow memory leak.
+Both tiers store *finished* results only — in-flight requests are
+deduplicated by the server's single-flight table, and a failed or
+crash-interrupted request is never inserted, so a poisoned computation
+cannot be served to later clients.
+
+:class:`ResultCache` is the bounded in-memory LRU (capacity-bounded with
+least-recently-used eviction: the service is long-lived and the matrix
+universe is unbounded, so an unbounded dict would be a slow memory
+leak).  :class:`DiskResultCache` is the optional persistent tier
+underneath it, built for a hostile filesystem:
+
+* **atomic visibility** — entries are written to a private temp file and
+  published with ``os.replace``; a ``kill -9`` mid-write leaves a stale
+  temp file (swept on startup), never a half-written entry;
+* **verified reads** — every entry carries a blake2b checksum of its
+  payload computed at write time; a flipped bit, torn write, or
+  truncation fails verification and degrades to a *miss*, never to a
+  wrong ordering;
+* **quarantine, not deletion** — a corrupt entry is moved into
+  ``quarantine/`` (counted in stats) so operators can post-mortem the
+  artifact while the service recomputes and overwrites cleanly;
+* **bounded footprint** — least-recently-read eviction by access time,
+  ``capacity`` entries.
+
+Fault points (:mod:`repro.faults`): ``cache.corrupt_entry`` flips one
+payload byte after the checksum is computed (an on-disk bit flip the
+read path must catch); ``io.truncate`` cuts the just-published entry
+short (a torn write).  Both are no-ops unless armed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any
 
-__all__ = ["ResultCache"]
+from .. import faults
+
+__all__ = ["ResultCache", "DiskResultCache"]
 
 
 class ResultCache:
@@ -62,4 +90,209 @@ class ResultCache:
         return (
             f"ResultCache({len(self._entries)}/{self.capacity} entries, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: Entry-format magic: bumping it invalidates (quarantines) old entries.
+_MAGIC = b"repro-cache-v1"
+
+#: blake2b digest size (bytes) of the payload checksum.
+_DIGEST_BYTES = 20
+
+
+class DiskResultCache:
+    """Crash-safe persistent ``key -> result`` store (see module docs).
+
+    Entry file format: one header line
+    ``repro-cache-v1 <blake2b_hex> <payload_bytes>\\n`` followed by the
+    pickled payload.  The header is fixed provenance: a reader can
+    verify an entry without any out-of-band state, and any mismatch
+    between header and body — wrong magic, wrong length, wrong digest,
+    unpicklable body — quarantines the file and reads as a miss.
+    """
+
+    def __init__(self, root, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("disk cache capacity must be >= 1")
+        self.root = Path(root)
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.corrupt = 0  #: entries that failed verification (quarantined)
+        self._tmp = self.root / "tmp"
+        self._quarantine = self.root / "quarantine"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._tmp.mkdir(exist_ok=True)
+        self._quarantine.mkdir(exist_ok=True)
+        # crash artifacts: a kill -9 mid-write strands its temp file;
+        # none of them were ever published, so sweeping is always safe
+        for stale in self._tmp.iterdir():
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                pass
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        # keys carry matrix hashes and lane suffixes; a fixed-width
+        # digest filename sidesteps filesystem length/charset limits
+        name = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return self.root / f"{name}.entry"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.entry"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Read path: verify or quarantine
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The stored result, or ``None``; corrupt entries quarantine.
+
+        A verified hit refreshes the entry's access time (the LRU
+        clock).  Every verification failure — bad magic, short file,
+        length or digest mismatch, unpicklable payload — moves the file
+        to ``quarantine/`` and returns ``None``: a damaged disk can cost
+        a recomputation, never serve a wrong result.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        payload = self._verify(blob)
+        if payload is None:
+            self._quarantine_entry(path)
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            self._quarantine_entry(path)
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU clock: least-recently-read evicts first
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        self.hits += 1
+        return result
+
+    @staticmethod
+    def _verify(blob: bytes) -> bytes | None:
+        """The checksummed payload of an entry blob, or ``None``."""
+        header, sep, payload = blob.partition(b"\n")
+        if not sep:
+            return None
+        parts = header.split()
+        if len(parts) != 3 or parts[0] != _MAGIC:
+            return None
+        try:
+            expected_digest = parts[1].decode()
+            expected_len = int(parts[2])
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if len(payload) != expected_len:
+            return None  # truncated (torn write) or padded
+        digest = hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).hexdigest()
+        if digest != expected_digest:
+            return None  # flipped bit(s) on disk
+        return payload
+
+    def _quarantine_entry(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, self._quarantine / path.name)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+
+    # ------------------------------------------------------------------
+    # Write path: temp file + atomic publish
+    # ------------------------------------------------------------------
+    def put(self, key: str, result) -> None:
+        """Persist ``result`` under ``key`` (atomic, durable).
+
+        The payload is pickled, checksummed, written to a private temp
+        file, flushed+fsynced, then published with ``os.replace`` — the
+        entry is either fully present or absent, never partial.
+        """
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).hexdigest()
+        spec = faults.fire("cache.corrupt_entry")
+        if spec is not None:
+            # simulate an on-disk bit flip: the header's digest is of the
+            # *original* payload, so the read path must reject this entry
+            flipped = bytearray(payload)
+            flipped[spec.seed % len(flipped)] ^= 0x01
+            payload = bytes(flipped)
+        header = b"%s %s %d\n" % (_MAGIC, digest.encode(), len(payload))
+        path = self._path(key)
+        tmp = self._tmp / (path.name + f".{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if faults.fire("io.truncate") is not None:
+            # simulate a torn write surviving the rename (e.g. a
+            # filesystem that reordered the data flush past the rename)
+            with open(path, "r+b") as fh:
+                fh.truncate(max(len(header) + len(payload) // 2, 1))
+        self.writes += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.root.glob("*.entry"), key=lambda p: p.stat().st_mtime
+        )
+        while len(entries) > self.capacity:
+            oldest = entries.pop(0)
+            try:
+                oldest.unlink()
+                self.evictions += 1
+            except OSError:  # pragma: no cover - entry raced away
+                pass
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def discard(self, key: str) -> None:
+        """Drop ``key`` if present (idempotent) — the cancellation /
+        failed-request eviction path, mirroring :meth:`ResultCache.discard`."""
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def clear(self) -> None:
+        for path in self.root.glob("*.entry"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+
+    def stats(self) -> dict:
+        """Counters + current entry/quarantine counts (JSON-safe)."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "quarantined": sum(1 for _ in self._quarantine.iterdir()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskResultCache({self.root}, {len(self)}/{self.capacity} "
+            f"entries, hits={self.hits}, corrupt={self.corrupt})"
         )

@@ -20,10 +20,16 @@ Response fields::
 
     {"id": 7, "ok": false, "status": 429, "error": "admission control: ..."}
 
-Errors map to HTTP-flavored status codes: 400 malformed request, 429
-admission-control rejection, 500 failed computation, 503 draining.
-A ``{"stats": true}`` request returns the service counters instead of
-an ordering.
+Errors map to HTTP-flavored status codes: 400 malformed request, 413
+oversized request line, 429 admission-control rejection, 500 failed
+computation, 503 draining, 504 deadline exhausted (a worker hung past
+``--deadline`` on every retry).  A ``{"stats": true}`` request returns
+the service counters instead of an ordering.
+
+An oversized request line is answered with a 413-style JSON error and
+the connection *survives*: the reader discards bytes until the next
+newline and resumes normal framing, so one fat request cannot silently
+kill a connection multiplexing many.
 """
 
 from __future__ import annotations
@@ -45,9 +51,12 @@ from .server import (
 
 __all__ = ["start_service_server", "main"]
 
-#: readline() limit: inline Matrix Market payloads and large perms must
+#: Request-line limit: inline Matrix Market payloads and large perms must
 #: fit on one line (16 MiB covers every suite/zoo entry the lane allows).
 _LINE_LIMIT = 16 * 1024 * 1024
+
+#: Socket read size of the line framer.
+_READ_CHUNK = 1 << 16
 
 
 def _parse_matrix(req: dict):
@@ -97,27 +106,88 @@ async def _handle_request(client: ServiceClient, req: dict) -> dict:
     }
 
 
+async def _next_line(
+    reader, buf: bytearray, limit: int | None = None
+) -> tuple[str, bytes | None]:
+    """Read one newline-terminated request line with explicit framing.
+
+    Returns ``("line", bytes)`` for a complete line, ``("over", None)``
+    when the line exceeded ``limit`` (the oversized bytes are discarded
+    up to and including the terminating newline, so framing survives and
+    the caller can answer 413 and keep serving), and ``("eof", None)``
+    at end of stream.  ``buf`` carries the unconsumed remainder between
+    calls.  Built on ``reader.read`` rather than ``readline`` because
+    ``StreamReader.readline`` turns an overrun into a bare
+    ``ValueError`` *after* discarding an unknowable amount of buffered
+    data — unrecoverable framing, which PR 7 papered over by dropping
+    the whole connection.
+    """
+    if limit is None:
+        limit = _LINE_LIMIT  # resolved per call so tests can shrink it
+    searched = 0  # no b"\n" anywhere before this offset: don't rescan
+    oversized = False
+    while True:
+        nl = buf.find(b"\n", searched)
+        if nl >= 0:
+            line = bytes(buf[:nl])
+            del buf[: nl + 1]
+            # the len() check catches a fat line that arrived whole in
+            # one read, before the incremental length guard below ran
+            if oversized or len(line) > limit:
+                return ("over", None)
+            return ("line", line)
+        searched = len(buf)
+        if searched > limit and not oversized:
+            oversized = True
+        if oversized:
+            del buf[:]  # drop the fat prefix; keep scanning for newline
+            searched = 0
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            if buf and not oversized:
+                line = bytes(buf)  # trailing request without a newline
+                buf.clear()
+                return ("line", line)
+            return ("eof", None)
+        buf += chunk
+
+
 async def _serve_connection(client: ServiceClient, reader, writer) -> None:
+    buf = bytearray()
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            kind, line = await _next_line(reader, buf)
+            if kind == "eof":
                 break
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                req = json.loads(line)
-                if not isinstance(req, dict):
-                    raise ValueError("request must be a JSON object")
-            except ValueError as exc:
-                resp = {"ok": False, "status": 400, "error": f"bad request: {exc}"}
+            if kind == "over":
+                resp = {
+                    "ok": False,
+                    "status": 413,
+                    "error": (
+                        f"request line exceeds {_LINE_LIMIT} bytes; "
+                        "split the matrix upload or use a spec string"
+                    ),
+                }
             else:
-                resp = await _handle_request(client, req)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    resp = {
+                        "ok": False,
+                        "status": 400,
+                        "error": f"bad request: {exc}",
+                    }
+                else:
+                    resp = await _handle_request(client, req)
             writer.write(json.dumps(resp).encode() + b"\n")
             await writer.drain()
-    except (ConnectionResetError, asyncio.LimitOverrunError):
-        pass  # client gone or oversized line: drop the connection
+    except ConnectionResetError:
+        pass  # client gone mid-exchange
     finally:
         with contextlib.suppress(Exception):
             writer.close()
@@ -173,6 +243,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-capacity", type=int, default=256, help="LRU result-cache entries"
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-dispatch worker reply deadline; a worker that misses it "
+            "is SIGKILLed and replaced, the request retries with backoff "
+            "and fails 504-style at the retry bound (default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="re-queues granted to a request interrupted by a crash/timeout",
+    )
+    parser.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the persistent on-disk result tier in DIR (crash-safe "
+            "atomic writes, checksum-verified reads, corrupt entries "
+            "quarantined); results survive service restarts"
+        ),
+    )
+    parser.add_argument(
+        "--disk-cache-capacity",
+        type=int,
+        default=4096,
+        help="disk-tier entry bound (least-recently-read evicted)",
+    )
     return parser
 
 
@@ -182,6 +285,10 @@ async def _run(args) -> int:
         max_pending=args.max_pending,
         max_batch=args.max_batch,
         cache_capacity=args.cache_capacity,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+        disk_cache_dir=args.disk_cache,
+        disk_cache_capacity=args.disk_cache_capacity,
     )
     server, service = await start_service_server(config, args.host, args.port)
     bound = server.sockets[0].getsockname()

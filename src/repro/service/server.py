@@ -22,10 +22,18 @@ for ``nprocs=`` requests.  Orderings are bit-identical to direct
   :class:`~repro.machine.cost.CostLedger` region breakdown (measured
   seconds in the serial lane, the modeled Fig. 4 ledger in the
   distributed lane);
-* **crash recovery** — a worker SIGKILLed mid-batch is replaced in
-  place (:meth:`WorkerPool.repair`) and the affected requests are
-  re-queued (bounded by ``max_retries``) or failed cleanly; partial
-  results never enter the cache;
+* **crash and hang recovery** — a worker SIGKILLed mid-batch (or one
+  that misses the configured ``deadline`` and is declared wedged —
+  :class:`~repro.runtime.pool.WorkerTimeoutError`) is replaced in place
+  (:meth:`WorkerPool.repair`) and the affected requests are re-queued
+  with bounded exponential backoff (``max_retries`` / ``retry_backoff_ms``)
+  or failed cleanly — :class:`RequestTimeoutError` (504-style) when the
+  terminal cause was a missed deadline; partial results never enter
+  the cache;
+* **persistent results** — with ``disk_cache_dir`` set, finished results
+  also land in a crash-safe :class:`~repro.service.cache.DiskResultCache`
+  (atomic writes, checksummed reads, corrupt entries quarantined), so a
+  restarted service serves warm results without recomputing;
 * **graceful drain** — ``stop()`` refuses new work, finishes everything
   accepted, then tears the pool down.
 
@@ -44,8 +52,8 @@ from typing import Any
 
 import numpy as np
 
-from ..runtime.pool import WorkerCrashError, WorkerPool
-from .cache import ResultCache
+from ..runtime.pool import WorkerCrashError, WorkerPool, WorkerTimeoutError
+from .cache import DiskResultCache, ResultCache
 from .hashing import request_key
 from .requests import encode_request
 
@@ -57,6 +65,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "RequestFailedError",
+    "RequestTimeoutError",
     "ReorderingService",
     "ServiceClient",
 ]
@@ -87,6 +96,15 @@ class RequestFailedError(ServiceError):
     status = 500
 
 
+class RequestTimeoutError(RequestFailedError):
+    """The request missed its deadline and exhausted its retries: every
+    attempt ended with a wedged worker.  504-style — the request *may*
+    succeed later (larger deadline, lighter load); the pool itself was
+    repaired and stays usable."""
+
+    status = 504
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of one service instance."""
@@ -106,6 +124,20 @@ class ServiceConfig:
     cache_capacity: int = 256
     #: scale forwarded to suite-name spec builds
     scale: float = 1.0
+    #: per-dispatch reply deadline in seconds (None = wait forever): a
+    #: worker that misses it is declared wedged, SIGKILLed and replaced;
+    #: the interrupted requests retry up to ``max_retries`` times, so a
+    #: request's worst-case wall is ~``(max_retries + 1) * deadline``
+    #: plus the backoff sleeps
+    deadline: float | None = None
+    #: base of the bounded exponential backoff between a crash/timeout
+    #: repair and the re-dispatch of the interrupted requests
+    retry_backoff_ms: float = 25.0
+    #: directory of the persistent on-disk result tier (None = memory
+    #: LRU only); survives restarts, verified on read, crash-safe writes
+    disk_cache_dir: Any = None
+    #: bounded entry count of the disk tier
+    disk_cache_capacity: int = 4096
 
 
 @dataclass
@@ -115,14 +147,16 @@ class ServiceStats:
     submitted: int = 0
     accepted: int = 0  # unique jobs enqueued
     rejected: int = 0  # admission-control 429s
-    cache_hits: int = 0
+    cache_hits: int = 0  # in-memory LRU hits
+    disk_hits: int = 0  # persistent-tier hits (memory missed)
     coalesced: int = 0  # single-flight joiners of an in-flight job
     computed: int = 0  # unique jobs that finished successfully
     failed: int = 0  # unique jobs that failed
     batches: int = 0
-    worker_crashes: int = 0
+    worker_crashes: int = 0  # crash *or* deadline-timeout recoveries
+    timeouts: int = 0  # recoveries whose cause was a missed deadline
     workers_replaced: int = 0
-    retried: int = 0  # re-queues after a crash
+    retried: int = 0  # re-queues after a crash/timeout
     cost_seconds: float = 0.0  # accounted cost of successful computes
 
     def to_dict(self) -> dict:
@@ -189,6 +223,13 @@ class ReorderingService:
             raise ValueError("max_batch must be >= 1")
         self.stats = ServiceStats()
         self.cache = ResultCache(self.config.cache_capacity)
+        self.disk: DiskResultCache | None = (
+            DiskResultCache(
+                self.config.disk_cache_dir, self.config.disk_cache_capacity
+            )
+            if self.config.disk_cache_dir is not None
+            else None
+        )
         self._pool: WorkerPool | None = None
         self._queue: asyncio.Queue[_Job] | None = None
         self._inflight: dict[str, _Job] = {}
@@ -205,7 +246,7 @@ class ReorderingService:
         if self._started:
             raise RuntimeError("service already started")
         self._queue = asyncio.Queue()
-        self._pool = WorkerPool(self.config.workers)
+        self._pool = WorkerPool(self.config.workers, deadline=self.config.deadline)
         self._pool.ping()  # warm: first dispatch pays no fork/attach cost
         self._scheduler_task = asyncio.create_task(
             self._scheduler(), name="repro-service-scheduler"
@@ -270,6 +311,16 @@ class ReorderingService:
             self.stats.coalesced += 1
             computed = await asyncio.shield(job.future)
             return self._wrap(computed, key, t0, cache_hit=False, coalesced=True)
+        if self.disk is not None:
+            # synchronous on purpose: entry reads are small, and an await
+            # here would open a duplicate-compute race against the
+            # single-flight check above
+            computed = self.disk.get(key)
+            if computed is not None:
+                computed.perm.setflags(write=False)  # pickled copies thaw
+                self.stats.disk_hits += 1
+                self.cache.put(key, computed)  # promote into the LRU
+                return self._wrap(computed, key, t0, cache_hit=True, coalesced=False)
         if len(self._inflight) >= self.config.max_pending:
             self.stats.rejected += 1
             raise ServiceOverloadedError(
@@ -442,6 +493,8 @@ class ReorderingService:
     def _finish(self, job: _Job, computed: _Computed) -> None:
         computed.perm.setflags(write=False)  # shared across all waiters
         self.cache.put(job.key, computed)
+        if self.disk is not None:
+            self.disk.put(job.key, computed)
         self._inflight.pop(job.key, None)
         self.stats.computed += 1
         self.stats.cost_seconds += float(computed.cost_seconds)
@@ -449,33 +502,58 @@ class ReorderingService:
             job.future.set_result(computed)
 
     def _fail(self, job: _Job, exc: ServiceError) -> None:
-        # a failed computation must leave no trace: not in the cache
-        # (no poisoning) and not in the single-flight table (a retry
-        # submission recomputes instead of joining a corpse)
+        # a failed computation must leave no trace: not in the memory or
+        # disk cache (no poisoning) and not in the single-flight table
+        # (a retry submission recomputes instead of joining a corpse) —
+        # cancellation and crash recovery share this eviction path
         self.cache.discard(job.key)
+        if self.disk is not None:
+            self.disk.discard(job.key)
         self._inflight.pop(job.key, None)
         self.stats.failed += 1
         if not job.future.done():
             job.future.set_exception(exc)
 
     async def _recover(self, jobs: list[_Job], exc: WorkerCrashError) -> None:
-        """A worker died mid-batch: replace it, re-queue or fail jobs."""
+        """A worker died or hung mid-batch: replace it, re-queue or fail.
+
+        Re-queues back off exponentially (``retry_backoff_ms * 2**(n-1)``
+        before the n-th retry): after a repair, immediately re-dispatching
+        into whatever wedged the worker (host overload, a poisoned input)
+        tends to wedge the replacement too.  Deadline-caused failures
+        surface as 504-style :class:`RequestTimeoutError`; genuine
+        crashes keep :class:`RequestFailedError`.
+        """
+        timeout = isinstance(exc, WorkerTimeoutError)
         self.stats.worker_crashes += 1
+        if timeout:
+            self.stats.timeouts += 1
         replaced = await asyncio.to_thread(self._pool.repair)
         self.stats.workers_replaced += len(replaced)
+        backoff = 0.0
         for job in jobs:
             job.retries += 1
             if job.retries > self.config.max_retries:
+                kind = RequestTimeoutError if timeout else RequestFailedError
+                cause = "missed its deadline" if timeout else "crashed"
                 self._fail(
                     job,
-                    RequestFailedError(
-                        f"worker crashed and retries exhausted "
+                    kind(
+                        f"worker {cause} and retries exhausted "
                         f"({self.config.max_retries}): {exc}"
                     ),
                 )
             else:
                 self.stats.retried += 1
+                backoff = max(
+                    backoff,
+                    self.config.retry_backoff_ms
+                    * (2 ** (job.retries - 1))
+                    / 1000.0,
+                )
                 self._queue.put_nowait(job)
+        if backoff > 0.0:
+            await asyncio.sleep(backoff)
 
 
 def _rcm_distributed():
@@ -501,5 +579,9 @@ class ServiceClient:
         return await self._service.submit(matrix, nprocs=nprocs)
 
     def stats(self) -> dict:
-        """Current service counters (monotonic)."""
-        return self._service.stats.to_dict()
+        """Current service counters (monotonic), plus disk-tier stats
+        under ``"disk_cache"`` when the persistent tier is enabled."""
+        out = self._service.stats.to_dict()
+        if self._service.disk is not None:
+            out["disk_cache"] = self._service.disk.stats()
+        return out

@@ -17,6 +17,14 @@ assembles the chunks into one :class:`COOMatrix`; out-of-core consumers
 use :func:`stream_matrix_market`, whose :class:`EdgeStream` feeds
 ``DistSparseMatrix.from_stream`` directly so the full matrix never
 exists in one address space.
+
+Failure model: a damaged file — truncated mid-download, garbage tail,
+malformed entry — raises ``ValueError`` naming the offending line
+(number and text).  The batch parser is the fast path; only when a
+batch fails does a per-line scan run to attribute the error, so clean
+files pay nothing for the diagnostics.  The ``io.truncate`` fault point
+(:mod:`repro.faults`) cuts the entry stream short mid-parse to exercise
+the truncation path deterministically.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Iterator, TextIO
 
 import numpy as np
 
+from .. import faults
 from .coo import COOMatrix
 from .stream import Chunk
 
@@ -55,65 +64,125 @@ def _open_maybe(path_or_file, mode: str) -> tuple[TextIO, bool]:
     return path_or_file, False
 
 
-def _parse_header(fh) -> tuple[int, int, int, str, str]:
-    """Parse banner + size line; returns (nrows, ncols, nnz, field, symmetry)."""
+def _parse_header(fh) -> tuple[int, int, int, str, str, int]:
+    """Parse banner + size line.
+
+    Returns ``(nrows, ncols, nnz, field, symmetry, lineno)`` where
+    ``lineno`` is the 1-based number of the size line — entry lines
+    start right after it, which is how entry errors get attributed to
+    their file line.  Every error message names the offending line.
+    """
     header = fh.readline()
     if not header.startswith(_HEADER_PREFIX):
-        raise ValueError("not a MatrixMarket file (bad banner)")
+        raise ValueError(
+            f"line 1: not a MatrixMarket file (bad banner): {header.strip()!r}"
+        )
     parts = header.strip().split()
     if len(parts) < 5:
-        raise ValueError(f"malformed MatrixMarket banner: {header!r}")
+        raise ValueError(f"line 1: malformed MatrixMarket banner: {header!r}")
     _, obj, fmt, field, symmetry = parts[:5]
     obj, fmt = obj.lower(), fmt.lower()
     field, symmetry = field.lower(), symmetry.lower()
     if obj != "matrix" or fmt != "coordinate":
-        raise ValueError(f"unsupported MatrixMarket type: {obj} {fmt}")
+        raise ValueError(f"line 1: unsupported MatrixMarket type: {obj} {fmt}")
     if field not in ("real", "integer", "pattern"):
-        raise ValueError(f"unsupported field type: {field}")
+        raise ValueError(f"line 1: unsupported field type: {field}")
     if symmetry not in ("general", "symmetric"):
-        raise ValueError(f"unsupported symmetry: {symmetry}")
+        raise ValueError(f"line 1: unsupported symmetry: {symmetry}")
+    lineno = 2
     line = fh.readline()
     while line.startswith("%"):
         line = fh.readline()
+        lineno += 1
     dims = line.split()
     if len(dims) != 3:
-        raise ValueError(f"malformed size line: {line!r}")
-    nrows, ncols, nnz = (int(x) for x in dims)
-    return nrows, ncols, nnz, field, symmetry
+        raise ValueError(f"line {lineno}: malformed size line: {line!r}")
+    try:
+        nrows, ncols, nnz = (int(x) for x in dims)
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: malformed size line: {line!r}"
+        ) from None
+    return nrows, ncols, nnz, field, symmetry, lineno
 
 
-def _parse_batch(batch: list[str], field: str) -> Chunk:
-    """Parse one batch of entry lines into 0-based ``(rows, cols, vals)``."""
+def _entry_error(batch: list[tuple[int, str]], field: str) -> ValueError:
+    """Attribute a failed batch parse to its first offending line.
+
+    The batch parser (``np.loadtxt`` over the whole batch) is the fast
+    path and its error says nothing about *where*; this per-line rescan
+    only runs after a batch has already failed, so the diagnostic costs
+    nothing on clean files.
+    """
+    dtype = _PATTERN_DTYPE if field == "pattern" else _ENTRY_DTYPE
+    for lineno, text in batch:
+        if field != "pattern" and len(text.split()) == 2:
+            return ValueError(
+                f"line {lineno}: real/integer file missing value column: "
+                f"{text!r}"
+            )
+        try:
+            np.loadtxt([text], dtype=dtype, ndmin=1)
+        except ValueError:
+            return ValueError(
+                f"line {lineno}: malformed MatrixMarket entry: {text!r}"
+            )
+    # the batch failed but every line parses alone: shouldn't happen
+    return ValueError(
+        "malformed MatrixMarket entry batch"
+    )  # pragma: no cover
+
+
+def _parse_batch(batch: list[tuple[int, str]], field: str) -> Chunk:
+    """Parse one batch of numbered entry lines into ``(rows, cols, vals)``."""
+    texts = [text for _, text in batch]
     try:
         if field == "pattern":
-            table = np.loadtxt(batch, dtype=_PATTERN_DTYPE, ndmin=1)
+            table = np.loadtxt(texts, dtype=_PATTERN_DTYPE, ndmin=1)
             vals = np.ones(table.size, dtype=np.float64)
         else:
-            table = np.loadtxt(batch, dtype=_ENTRY_DTYPE, ndmin=1)
+            table = np.loadtxt(texts, dtype=_ENTRY_DTYPE, ndmin=1)
             vals = np.ascontiguousarray(table["v"])
-    except ValueError as exc:
-        if field != "pattern" and "columns" in str(exc):
-            raise ValueError("real/integer file missing value column") from exc
-        raise ValueError(f"malformed MatrixMarket entry line: {exc}") from exc
+    except ValueError:
+        raise _entry_error(batch, field) from None
     rows = np.ascontiguousarray(table["r"]) - 1
     cols = np.ascontiguousarray(table["c"]) - 1
     return rows, cols, vals
 
 
+def _numbered_lines(fh, start: int) -> Iterator[tuple[int, str]]:
+    """Non-blank stripped lines with their 1-based file line numbers."""
+    for lineno, raw in enumerate(fh, start):
+        text = raw.strip()
+        if text:
+            yield lineno, text
+
+
 def _entry_chunks(
-    fh, nnz: int, field: str, symmetry: str, chunk_entries: int
+    fh, nnz: int, field: str, symmetry: str, chunk_entries: int, lineno: int
 ) -> Iterator[Chunk]:
-    """Yield parsed (and per-chunk symmetric-expanded) entry chunks."""
-    lines = (s for s in (line.strip() for line in fh) if s)
+    """Yield parsed (and per-chunk symmetric-expanded) entry chunks.
+
+    ``lineno`` is the size line's number; entry lines are numbered from
+    the following line so errors name their exact file position.
+    """
+    pairs = _numbered_lines(fh, lineno + 1)
     seen = 0
+    last_lineno = lineno
     while True:
-        batch = list(islice(lines, chunk_entries))
+        batch = list(islice(pairs, chunk_entries))
         if not batch:
             break
+        if faults.fire("io.truncate") is not None:
+            break  # simulate the file ending mid-stream (torn download)
         rows, cols, vals = _parse_batch(batch, field)
         seen += rows.size
+        last_lineno = batch[-1][0]
         if seen > nnz:
-            raise ValueError(f"expected {nnz} entries, found at least {seen}")
+            raise ValueError(
+                f"line {last_lineno}: expected {nnz} entries, found at "
+                f"least {seen} (garbage tail?)"
+            )
         if symmetry == "symmetric":
             # mirror this chunk's off-diagonal entries in place of the
             # old whole-matrix concatenation: parse-time memory stays
@@ -125,7 +194,10 @@ def _entry_chunks(
             vals = np.concatenate([vals, mvals])
         yield rows, cols, vals
     if seen != nnz:
-        raise ValueError(f"expected {nnz} entries, found {seen}")
+        raise ValueError(
+            f"truncated MatrixMarket file: expected {nnz} entries, found "
+            f"{seen} (last entry at line {last_lineno})"
+        )
 
 
 def iter_matrix_market_chunks(
@@ -143,7 +215,7 @@ def iter_matrix_market_chunks(
         raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
     fh, should_close = _open_maybe(path_or_file, "r")
     try:
-        nrows, ncols, nnz, field, symmetry = _parse_header(fh)
+        nrows, ncols, nnz, field, symmetry, lineno = _parse_header(fh)
     except Exception:
         if should_close:
             fh.close()
@@ -152,7 +224,9 @@ def iter_matrix_market_chunks(
     def generate() -> Iterator[Chunk]:
         try:
             if nnz:
-                yield from _entry_chunks(fh, nnz, field, symmetry, chunk_entries)
+                yield from _entry_chunks(
+                    fh, nnz, field, symmetry, chunk_entries, lineno
+                )
             elif fh.read().strip():
                 raise ValueError("expected 0 entries, found trailing data")
         finally:
@@ -184,7 +258,7 @@ class MatrixMarketStream:
         if chunk_entries < 1:
             raise ValueError(f"chunk_entries must be >= 1, got {chunk_entries}")
         with open(path, "r") as fh:  # validate the header once, up front
-            self.nrows, self.ncols, _, _, _ = _parse_header(fh)
+            self.nrows, self.ncols, _, _, _, _ = _parse_header(fh)
 
     def chunks(self) -> Iterator[Chunk]:
         _, chunks = iter_matrix_market_chunks(self.path, self.chunk_entries)

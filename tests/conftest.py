@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """A fault armed by one test must never leak into the next."""
+    yield
+    faults.reset()
 
 
 def csr_from_edges(n: int, edges) -> CSRMatrix:

@@ -267,3 +267,16 @@ def test_skyline_extension_runs():
 def test_quality_extension_runs():
     out = EXPERIMENTS["quality"](scale=0.5, quick=True, names=["serena"]).render()
     assert "GPS" in out and "Sloan" in out
+
+
+def test_disk_cache_measurement_enforces_full_recovery():
+    # the measurement itself asserts disk_hits == unique and computed ==
+    # 0 on the restarted service — a returned dict is a persistence proof
+    from repro.bench.harness import measure_disk_cache
+
+    m = measure_disk_cache(workers=2, unique=2, scale=0.45)
+    assert m["unique"] == 2
+    assert m["recovery_seconds"] > 0
+    assert m["hit_latency_ms"] > 0
+    assert m["disk_stats"]["hits"] == 2
+    assert m["disk_stats"]["corrupt"] == 0

@@ -63,6 +63,10 @@ def test_snapshot_covers_the_curated_metric_set(micro_doc):
     assert "direction.serial_bfs.li7nmax6.speedup" in names
     assert "direction.serial_bfs.rmat15.adaptive.seconds" in names
     assert "direction.dist.li7nmax6.ms_per_superstep.r16" in names
+    # service disk tier: verified-hit latency + restart recovery wall
+    assert "service.disk_cache.hit.latency_ms" in names
+    assert "service.disk_cache.recovery.seconds" in names
+    assert micro_doc["metrics"]["service.disk_cache.recovery.seconds"]["gate"] is False
     for m in micro_doc["metrics"].values():
         assert m["value"] >= 0
         assert m["params"]["scale"] == 0.45

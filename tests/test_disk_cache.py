@@ -1,0 +1,228 @@
+"""DiskResultCache: crash-safe writes, verified reads, quarantine.
+
+The invariant under test: a damaged disk (kill -9 mid-write, flipped
+bit, torn write, garbage file) can cost a *recomputation* — it can
+never serve a wrong result.  Every corruption scenario must degrade to
+a cache miss with the damaged artifact preserved in ``quarantine/``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.service import DiskResultCache
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskResultCache(tmp_path / "cache")
+
+
+def _payload(seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"perm": rng.permutation(500), "algorithm": "rcm", "n": 500}
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_put_get_roundtrip_bit_identical(cache):
+    value = _payload(1)
+    cache.put("k1", value)
+    back = cache.get("k1")
+    assert np.array_equal(back["perm"], value["perm"])
+    assert back["algorithm"] == "rcm"
+    assert cache.hits == 1 and cache.writes == 1
+
+
+def test_miss_on_absent_key(cache):
+    assert cache.get("nope") is None
+    assert cache.misses == 1
+
+
+def test_persists_across_instances(tmp_path):
+    root = tmp_path / "cache"
+    value = _payload(2)
+    DiskResultCache(root).put("k", value)
+    # a fresh instance — a restarted service — sees the entry
+    back = DiskResultCache(root).get("k")
+    assert np.array_equal(back["perm"], value["perm"])
+
+
+def test_discard_and_contains(cache):
+    cache.put("k", _payload())
+    assert "k" in cache and "other" not in cache
+    cache.discard("k")
+    cache.discard("k")  # idempotent
+    assert "k" not in cache and cache.get("k") is None
+
+
+# ----------------------------------------------------------------------
+# Crash mid-write
+# ----------------------------------------------------------------------
+def test_kill_mid_write_leaves_no_entry(tmp_path):
+    root = tmp_path / "cache"
+    cache = DiskResultCache(root)
+    # a kill -9 between tmp-write and publish strands exactly this file:
+    (root / "tmp" / "deadbeef.entry.12345.tmp").write_bytes(b"half a pickle")
+    assert cache.get("any") is None  # unpublished = invisible
+    # ...and a restart sweeps it
+    DiskResultCache(root)
+    assert list((root / "tmp").iterdir()) == []
+
+
+def test_torn_write_quarantined_as_miss(cache):
+    # io.truncate cuts the entry short *after* the atomic publish — the
+    # pathological filesystem that reordered data past the rename
+    faults.arm("io.truncate")
+    cache.put("k", _payload(3))
+    faults.reset()
+    assert cache.get("k") is None
+    assert cache.corrupt == 1
+    assert cache.stats()["quarantined"] == 1
+    # the slot is reusable: a clean rewrite serves verified hits again
+    value = _payload(4)
+    cache.put("k", value)
+    assert np.array_equal(cache.get("k")["perm"], value["perm"])
+
+
+# ----------------------------------------------------------------------
+# Corruption
+# ----------------------------------------------------------------------
+def test_flipped_bit_quarantined_as_miss(cache):
+    faults.arm("cache.corrupt_entry:seed=123")
+    cache.put("k", _payload(5))
+    faults.reset()
+    assert cache.get("k") is None  # checksum mismatch, never a wrong perm
+    assert cache.corrupt == 1 and cache.stats()["quarantined"] == 1
+
+
+def test_corruption_seed_is_deterministic(tmp_path):
+    # same seed -> same flipped byte -> byte-identical damaged entries
+    def damaged_bytes(sub):
+        root = tmp_path / sub
+        faults.reset()
+        faults.arm("cache.corrupt_entry:seed=7")
+        c = DiskResultCache(root)
+        c.put("k", _payload(6))
+        faults.reset()
+        (entry,) = root.glob("*.entry")
+        return entry.read_bytes()
+
+    assert damaged_bytes("a") == damaged_bytes("b")
+
+
+def test_garbage_file_quarantined(cache, tmp_path):
+    cache.put("k", _payload(7))
+    (entry,) = (tmp_path / "cache").glob("*.entry")
+    entry.write_bytes(b"<html>not a cache entry</html>")
+    assert cache.get("k") is None
+    assert cache.corrupt == 1
+
+
+def test_wrong_magic_quarantined(cache, tmp_path):
+    cache.put("k", _payload(8))
+    (entry,) = (tmp_path / "cache").glob("*.entry")
+    blob = entry.read_bytes()
+    entry.write_bytes(b"repro-cache-v0" + blob[14:])  # stale format version
+    assert cache.get("k") is None
+    assert cache.corrupt == 1
+
+
+def test_unpicklable_payload_quarantined(cache, tmp_path):
+    # a payload that passes the checksum but fails to unpickle (e.g.
+    # written by a build with classes this build doesn't have)
+    import hashlib
+
+    bogus = b"\x80\x04not really a pickle."
+    digest = hashlib.blake2b(bogus, digest_size=20).hexdigest()
+    blob = b"repro-cache-v1 " + digest.encode() + b" %d\n" % len(bogus) + bogus
+    cache.put("k", _payload(9))
+    (entry,) = (tmp_path / "cache").glob("*.entry")
+    entry.write_bytes(blob)
+    assert cache.get("k") is None
+    assert cache.corrupt == 1
+
+
+def test_quarantine_preserves_artifact_for_postmortem(cache, tmp_path):
+    faults.arm("cache.corrupt_entry")
+    cache.put("k", _payload(10))
+    faults.reset()
+    assert cache.get("k") is None
+    (artifact,) = (tmp_path / "cache" / "quarantine").iterdir()
+    # the damaged bytes survive verbatim for offline diagnosis
+    assert artifact.stat().st_size > 0
+
+
+def test_valid_entries_unaffected_by_corrupt_sibling(cache):
+    good = _payload(11)
+    cache.put("good", good)
+    faults.arm("cache.corrupt_entry")
+    cache.put("bad", _payload(12))
+    faults.reset()
+    assert cache.get("bad") is None
+    assert np.array_equal(cache.get("good")["perm"], good["perm"])
+
+
+# ----------------------------------------------------------------------
+# Eviction and stats
+# ----------------------------------------------------------------------
+def test_eviction_drops_least_recently_read(tmp_path):
+    import os
+    import time
+
+    cache = DiskResultCache(tmp_path / "cache", capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    # age "a" older than "b", then refresh "a" by reading it
+    past = time.time() - 100
+    os.utime(cache._path("a"), (past, past))
+    assert cache.get("a") == 1  # LRU refresh
+    os.utime(cache._path("b"), (past, past))
+    cache.put("c", 3)  # over capacity: evicts "b" (oldest access)
+    assert cache.evictions == 1
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_stats_shape(cache):
+    cache.put("k", _payload(13))
+    cache.get("k")
+    cache.get("absent")
+    s = cache.stats()
+    assert s == {
+        "entries": 1,
+        "hits": 1,
+        "misses": 1,
+        "writes": 1,
+        "evictions": 0,
+        "corrupt": 0,
+        "quarantined": 0,
+    }
+    assert all(isinstance(v, int) for v in s.values())  # JSON-safe
+
+
+def test_capacity_validation(tmp_path):
+    with pytest.raises(ValueError, match="capacity"):
+        DiskResultCache(tmp_path / "c", capacity=0)
+
+
+def test_entry_header_is_self_describing(cache, tmp_path):
+    # the header alone must let an external tool verify an entry
+    value = _payload(14)
+    cache.put("k", value)
+    (entry,) = (tmp_path / "cache").glob("*.entry")
+    header, _, payload = entry.read_bytes().partition(b"\n")
+    magic, digest, length = header.split()
+    assert magic == b"repro-cache-v1"
+    assert int(length) == len(payload)
+    import hashlib
+
+    assert hashlib.blake2b(payload, digest_size=20).hexdigest() == digest.decode()
+    assert np.array_equal(pickle.loads(payload)["perm"], value["perm"])

@@ -242,3 +242,100 @@ def test_chunked_missing_value_column_rejected():
     (_, _), chunks = iter_matrix_market_chunks(io.StringIO(text))
     with pytest.raises(ValueError, match="value column"):
         list(chunks)
+
+
+# ----------------------------------------------------------------------
+# Damaged-file diagnostics: errors must name the offending line
+# ----------------------------------------------------------------------
+def test_truncated_file_names_last_entry_line():
+    # a download cut short: 5 entries declared, file ends after 3
+    text = """%%MatrixMarket matrix coordinate real general
+3 3 5
+1 1 1.0
+2 2 1.0
+3 3 1.0
+"""
+    with pytest.raises(ValueError, match=r"truncated.*expected 5 entries.*found 3.*line 5"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_garbage_tail_names_offending_line():
+    # a valid prefix followed by an HTML error page fragment (the
+    # classic failure mode of a download that went through a proxy)
+    text = """%%MatrixMarket matrix coordinate real general
+3 3 3
+1 1 1.0
+2 2 1.0
+<html>504 gateway timeout</html>
+"""
+    with pytest.raises(ValueError, match=r"line 5: malformed MatrixMarket entry"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_garbage_line_number_counts_blank_lines():
+    # line attribution must use *file* line numbers, not entry counts
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "\n"
+        "1 1 1.0\n"
+        "\n"
+        "oops oops oops\n"
+    )
+    with pytest.raises(ValueError, match=r"line 6: malformed"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_garbage_attributed_across_chunks():
+    # the bad line sits in the second batch: the per-line rescan must
+    # still report the absolute file position
+    entries = [f"{i + 1} {i + 1} 1.0" for i in range(6)]
+    entries[4] = "4 four 1.0"
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n6 6 6\n"
+        + "\n".join(entries)
+        + "\n"
+    )
+    (_, _), chunks = iter_matrix_market_chunks(io.StringIO(text), chunk_entries=2)
+    with pytest.raises(ValueError, match=r"line 7: malformed"):
+        list(chunks)
+
+
+def test_missing_value_column_names_line():
+    text = """%%MatrixMarket matrix coordinate real general
+3 3 3
+1 1 1.0
+2 2
+3 3 1.0
+"""
+    with pytest.raises(ValueError, match=r"line 4: .*value column"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_excess_entries_name_line():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 1
+1 1 4.0
+2 2 5.0
+"""
+    (_, _), chunks = iter_matrix_market_chunks(io.StringIO(text), chunk_entries=1)
+    with pytest.raises(ValueError, match=r"line 4: expected 1 entries"):
+        list(chunks)
+
+
+def test_malformed_size_line_names_line():
+    text = """%%MatrixMarket matrix coordinate real general
+% a comment line
+2 2
+"""
+    with pytest.raises(ValueError, match=r"line 3: malformed size line"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_header_errors_name_line_one():
+    with pytest.raises(ValueError, match=r"line 1: not a MatrixMarket file"):
+        read_matrix_market(io.StringIO("garbage\n1 1 0\n"))
+    with pytest.raises(ValueError, match=r"line 1: unsupported MatrixMarket type"):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix array real general\n2 2\n")
+        )

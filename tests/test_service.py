@@ -403,5 +403,96 @@ def test_serve_cli_parser_defaults():
 
     args = build_parser().parse_args([])
     assert args.port == 8571 and args.workers == 2
+    assert args.deadline is None and args.disk_cache is None
+    assert args.max_retries == 1 and args.disk_cache_capacity == 4096
     args = build_parser().parse_args(["--workers", "4", "--max-pending", "7"])
     assert args.workers == 4 and args.max_pending == 7
+    args = build_parser().parse_args(
+        ["--deadline", "2.5", "--max-retries", "3", "--disk-cache", "/tmp/dc"]
+    )
+    assert args.deadline == 2.5 and args.max_retries == 3
+    assert args.disk_cache == "/tmp/dc"
+
+
+def test_tcp_oversized_line_gets_413_and_connection_survives(monkeypatch):
+    import repro.service.serve as serve
+
+    monkeypatch.setattr(serve, "_LINE_LIMIT", 4096)
+    A = ladder()
+    expect = rcm_serial(A).perm
+    mm = io.StringIO()
+    from repro.sparse.io import write_matrix_market
+
+    write_matrix_market(mm, A.to_coo())
+
+    async def go():
+        server, service = await serve.start_service_server(
+            ServiceConfig(workers=1), port=0
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        reader, writer = await asyncio.open_connection(host, port, limit=1 << 22)
+        try:
+            # a fat single-chunk line: 413, not a dropped connection
+            writer.write(b"x" * 10_000 + b"\n")
+            await writer.drain()
+            resp = json.loads(await reader.readline())
+            assert not resp["ok"] and resp["status"] == 413
+            assert "4096" in resp["error"]
+            # a fat line arriving in many small chunks: same answer
+            for _ in range(40):
+                writer.write(b"y" * 200)
+                await writer.drain()
+                await asyncio.sleep(0)
+            writer.write(b"\n")
+            await writer.drain()
+            resp = json.loads(await reader.readline())
+            assert not resp["ok"] and resp["status"] == 413
+            # the framing resynchronized: a real request still works
+            resp = await _tcp_roundtrip(
+                reader, writer, {"id": 9, "mm": mm.getvalue()}
+            )
+            assert resp["ok"] and resp["perm"] == expect.tolist()
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+    run(go())
+
+
+@pytest.mark.faults
+def test_tcp_deadline_timeout_maps_to_504():
+    from repro import faults
+    from repro.service.serve import start_service_server
+
+    async def go():
+        server, service = await start_service_server(
+            ServiceConfig(
+                workers=2, deadline=1.0, max_retries=0, retry_backoff_ms=1.0
+            ),
+            port=0,
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        reader, writer = await asyncio.open_connection(host, port, limit=1 << 22)
+        try:
+            faults.arm("worker.hang:hit=1:count=0")
+            resp = await _tcp_roundtrip(reader, writer, {"id": 1, "matrix": "nd24k"})
+            assert not resp["ok"] and resp["status"] == 504
+            assert "deadline" in resp["error"]
+            faults.reset()
+            # the connection and the service survive the timeout
+            resp = await _tcp_roundtrip(reader, writer, {"id": 2, "matrix": "nd24k"})
+            assert resp["ok"]
+            direct = rcm_serial(PAPER_SUITE["nd24k"].build(1.0)).perm
+            assert resp["perm"] == direct.tolist()
+        finally:
+            faults.reset()
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+    run(go())
