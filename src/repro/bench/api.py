@@ -1,0 +1,203 @@
+"""Public programmatic benchmark API: :func:`run` one experiment.
+
+The CLI (`repro-bench run ...`), the campaign orchestrator
+(:mod:`repro.bench.orchestrate`), and external callers all dispatch
+experiments through this module — never through ``harness`` internals.
+The per-experiment knob surface is a declarative table here
+(:data:`EXTRA_KNOBS`, :data:`SUITE_EXPERIMENTS`) instead of
+``inspect.signature`` probing: what each experiment accepts is an API
+contract, pinned by tests against the actual signatures, not something
+rediscovered per call.
+
+Knob semantics
+--------------
+Every experiment takes ``scale`` / ``quick`` / ``names``.  The extra
+knobs apply only where the experiment implements them:
+
+* ``engine`` / ``procs`` — ``calibration`` only (real worker processes).
+* ``matrix`` — ``ingest`` only (a ``zoo:<name>`` or paper-suite spec).
+* ``direction`` — the strong-scaling sweeps ``fig4``/``fig5``/``fig6``
+  (push/pull/adaptive SpMSpV traversal; the paper's runs are push).
+
+A knob passed to an experiment that does not implement it is *ignored*,
+not an error — :func:`normalize_kwargs` reports which groups were
+dropped so callers (the CLI) can tell the user.  Invalid *values* are
+always errors, with the valid set in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .harness import EXPERIMENTS
+from .schema import ExperimentResult
+
+__all__ = [
+    "run",
+    "normalize_kwargs",
+    "EXTRA_KNOBS",
+    "SUITE_EXPERIMENTS",
+    "KNOWN_ENGINES",
+    "KNOWN_DIRECTIONS",
+]
+
+#: Execution engines of engine-aware experiments.
+KNOWN_ENGINES = ("simulated", "processes")
+
+#: SpMSpV traversal directions of direction-aware experiments.
+KNOWN_DIRECTIONS = ("push", "pull", "adaptive")
+
+#: Extra keyword arguments each experiment accepts beyond the universal
+#: ``scale``/``quick``/``names`` trio.  This table *is* the dispatch
+#: contract — tests pin it against the harness signatures.
+EXTRA_KNOBS: dict[str, frozenset[str]] = {
+    "calibration": frozenset({"engine", "procs"}),
+    "ingest": frozenset({"matrix"}),
+    "fig4": frozenset({"direction"}),
+    "fig5": frozenset({"direction"}),
+    "fig6": frozenset({"direction"}),
+}
+
+#: Experiments whose matrix set follows ``names`` (the ``_suite_names``
+#: convention).  The others run a fixed input: fig1 (thermal2 CG),
+#: fig6 (ldoor), gather (nlpkkt240), skyline, service (workload mix),
+#: ingest (via ``matrix`` spec instead).
+SUITE_EXPERIMENTS = frozenset(
+    {
+        "fig3",
+        "table2",
+        "fig4",
+        "fig5",
+        "sort-ablation",
+        "csc-ablation",
+        "backend-ablation",
+        "driver-overhead",
+        "direction",
+        "balance-ablation",
+        "semiring-ablation",
+        "quality",
+        "calibration",
+    }
+)
+
+#: Why each ignored knob group does not apply — the CLI prints these
+#: verbatim in its ``[name] note: --knob ignored (reason)`` lines, so
+#: the wording is part of the compatibility surface.
+_IGNORE_REASONS = {
+    "matrix": "experiment runs the paper suite",
+    "engine/procs": "experiment is simulated-machine only",
+    "direction": "experiment has no direction switch",
+}
+
+
+def _check_choice(knob: str, value: str | None, choices) -> None:
+    if value is not None and value not in choices:
+        raise ValueError(
+            f"unknown {knob} {value!r}: expected one of {sorted(choices)}"
+        )
+
+
+def normalize_kwargs(
+    name: str,
+    *,
+    scale: float = 1.0,
+    quick: bool = False,
+    names: list[str] | None = None,
+    engine: str | None = None,
+    procs: int | None = None,
+    matrix: str | None = None,
+    direction: str | None = None,
+) -> tuple[dict[str, Any], list[tuple[str, str]]]:
+    """Validate knobs for experiment ``name``; drop the inapplicable ones.
+
+    Returns ``(kwargs, ignored)`` where ``kwargs`` is exactly what the
+    experiment function accepts and ``ignored`` lists ``(knob_group,
+    reason)`` pairs for every knob the caller set that the experiment
+    does not implement.  Raises :class:`ValueError` (with the valid set
+    in the message) for an unknown experiment or an invalid knob value.
+    """
+    if name not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {name!r}: expected one of {sorted(EXPERIMENTS)}"
+        )
+    _check_choice("engine", engine, KNOWN_ENGINES)
+    _check_choice("direction", direction, KNOWN_DIRECTIONS)
+    if procs is not None and procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
+    if names is not None:
+        from ..matrices.suite import PAPER_SUITE
+
+        unknown = [n for n in names if n not in PAPER_SUITE]
+        if unknown:
+            raise ValueError(
+                f"unknown matrices {unknown}: expected paper-suite names "
+                f"{sorted(PAPER_SUITE)}"
+            )
+
+    extra = EXTRA_KNOBS.get(name, frozenset())
+    kwargs: dict[str, Any] = dict(scale=scale, quick=quick, names=names)
+    ignored: list[tuple[str, str]] = []
+    if "matrix" in extra:
+        if matrix is not None:
+            kwargs["matrix"] = matrix
+    elif matrix is not None:
+        ignored.append(("matrix", _IGNORE_REASONS["matrix"]))
+    if "engine" in extra:
+        if engine is not None:
+            kwargs["engine"] = engine
+        if procs is not None:
+            kwargs["procs"] = procs
+    elif engine is not None or procs is not None:
+        ignored.append(("engine/procs", _IGNORE_REASONS["engine/procs"]))
+    if "direction" in extra:
+        if direction is not None:
+            kwargs["direction"] = direction
+    elif direction is not None:
+        ignored.append(("direction", _IGNORE_REASONS["direction"]))
+    return kwargs, ignored
+
+
+def run(
+    name: str,
+    *,
+    scale: float = 1.0,
+    quick: bool = False,
+    names: list[str] | None = None,
+    engine: str | None = None,
+    procs: int | None = None,
+    backend: str | None = None,
+    direction: str | None = None,
+    matrix: str | None = None,
+) -> ExperimentResult:
+    """Run one registered experiment and return its structured result.
+
+    ``backend`` selects the SpMSpV/BFS kernel backend for the whole run
+    (default: the process default, normally numpy); it is recorded in
+    ``result.params``.  All other knobs are normalized per experiment by
+    :func:`normalize_kwargs` — inapplicable ones are silently dropped
+    here (the CLI surfaces them as notes).
+
+    >>> from repro.bench import run
+    >>> result = run("fig3", quick=True, names=["nd24k"])
+    >>> result.table().headers[0]
+    'cores'
+    """
+    from ..backends import available_backends, default_backend, use_backend
+
+    kwargs, _ = normalize_kwargs(
+        name,
+        scale=scale,
+        quick=quick,
+        names=names,
+        engine=engine,
+        procs=procs,
+        matrix=matrix,
+        direction=direction,
+    )
+    chosen_backend = backend if backend is not None else default_backend()
+    _check_choice("backend", chosen_backend, available_backends())
+    fn = EXPERIMENTS[name]
+    with use_backend(chosen_backend):
+        result = fn(**kwargs)
+    result.params.setdefault("backend", chosen_backend)
+    return result

@@ -1,59 +1,51 @@
 """Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
 
-Examples
---------
-Run a single experiment::
+One subcommand parser over the whole benchmark surface:
 
-    repro-bench fig1
-    repro-bench fig4 --quick --matrices nd24k ldoor
+``repro-bench run EXPERIMENT``
+    Regenerate one paper table/figure (or ``all``)::
 
-Run everything the paper reports::
+        repro-bench run fig1
+        repro-bench run fig4 --quick --matrices nd24k ldoor
+        repro-bench run backend-ablation --quick --backend scipy --json
+        repro-bench run calibration --engine processes --procs 4
 
-    repro-bench all --quick
+    The historical positional form (``repro-bench fig4 --quick``) still
+    works as an alias and prints a deprecation note on stderr.
 
-Swap the kernel backend and emit machine-readable output (every
-experiment serializes through the shared ``ExperimentResult`` schema)::
+``repro-bench snapshot`` / ``repro-bench compare``
+    The perf-gate subsystem::
 
-    repro-bench backend-ablation --quick --backend scipy --json
+        repro-bench snapshot --quick
+        repro-bench compare BENCH.json BENCH_NEW.json --tolerance 2.5
 
-Run the distributed layer on real worker processes and calibrate the
-cost model against measured wall-clock::
+``repro-bench orchestrate CONFIG`` / ``repro-bench report DIR``
+    Declarative campaigns (experiments x matrices x engines x backends
+    x directions from a JSON/TOML config) fanned out over a worker
+    pool, with a resumable manifest and a static HTML report::
 
-    repro-bench calibration --engine processes --procs 4
+        repro-bench orchestrate examples/campaign-quick.json --report
+        repro-bench report campaign-out
 
-Record a perf snapshot and gate against a committed baseline::
-
-    repro-bench snapshot --quick
-    repro-bench compare BENCH.json BENCH_NEW.json --tolerance 2.5
+Programmatic access is :func:`repro.bench.run`,
+:func:`repro.bench.orchestrate`, and :func:`repro.bench.render_report`.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import sys
 import time
 
 from .harness import EXPERIMENTS
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     from ..backends import available_backends, default_backend
 
-    parser = argparse.ArgumentParser(
-        prog="repro-bench",
-        description=(
-            "Regenerate the tables and figures of 'The Reverse "
-            "Cuthill-McKee Algorithm in Distributed-Memory' (IPDPS 2017) "
-            "on the simulated distributed machine.  Besides the "
-            "experiments below, two subcommands manage the perf history: "
-            "'repro-bench snapshot' writes a BENCH.json metric snapshot "
-            "and 'repro-bench compare OLD NEW' classifies regressions."
-        ),
-    )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
@@ -113,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--direction",
+        choices=["push", "pull", "adaptive"],
+        default=None,
+        help=(
+            "SpMSpV traversal for the strong-scaling sweeps "
+            "(fig4/fig5/fig6); default is the paper's push"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -121,68 +122,57 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment; tables and expected-shape notes included)"
         ),
     )
-    return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    from ..backends import use_backend
+#: Flag spelling of each ignorable knob group in the legacy note lines.
+_KNOB_FLAGS = {
+    "matrix": "--matrix",
+    "engine/procs": "--engine/--procs",
+    "direction": "--direction",
+}
 
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # the history subcommands carry their own flags — dispatch before the
-    # experiment parser sees (and rejects) them
-    if argv[:1] == ["snapshot"]:
-        from .snapshot import main as snapshot_main
 
-        return snapshot_main(argv[1:])
-    if argv[:1] == ["compare"]:
-        from .history import main as compare_main
+def _run_command(args: argparse.Namespace) -> int:
+    from .api import normalize_kwargs, run
 
-        return compare_main(argv[1:])
-
-    args = build_parser().parse_args(argv)
     chosen = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     records = []
-    with use_backend(args.backend):
-        for name in chosen:
-            fn = EXPERIMENTS[name]
-            kwargs = dict(scale=args.scale, quick=args.quick, names=args.matrices)
-            signature = inspect.signature(fn).parameters
-            if "matrix" in signature:
-                if args.matrix is not None:
-                    kwargs["matrix"] = args.matrix
-            elif args.matrix is not None:
-                print(
-                    f"[{name}] note: --matrix ignored "
-                    "(experiment runs the paper suite)",
-                    file=sys.stderr,
-                )
-            engine_aware = "engine" in signature
-            if engine_aware:
-                if args.engine is not None:
-                    kwargs["engine"] = args.engine
-                if args.procs is not None:
-                    kwargs["procs"] = args.procs
-            elif args.engine is not None or args.procs is not None:
-                print(
-                    f"[{name}] note: --engine/--procs ignored "
-                    "(experiment is simulated-machine only)",
-                    file=sys.stderr,
-                )
-            t0 = time.perf_counter()
-            result = fn(**kwargs)
-            elapsed = time.perf_counter() - t0
-            result.params.setdefault("backend", args.backend)
-            if args.json:
-                records.append(
-                    {
-                        "experiment": name,
-                        "seconds": elapsed,
-                        "result": result.to_dict(),
-                    }
-                )
-            else:
-                print(result.render())
-                print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
+    for name in chosen:
+        _, ignored = normalize_kwargs(
+            name,
+            names=args.matrices,
+            engine=args.engine,
+            procs=args.procs,
+            matrix=args.matrix,
+            direction=args.direction,
+        )
+        for knob, reason in ignored:
+            flag = _KNOB_FLAGS.get(knob, f"--{knob}")
+            print(f"[{name}] note: {flag} ignored ({reason})", file=sys.stderr)
+        t0 = time.perf_counter()
+        result = run(
+            name,
+            scale=args.scale,
+            quick=args.quick,
+            names=args.matrices,
+            engine=args.engine,
+            procs=args.procs,
+            backend=args.backend,
+            direction=args.direction,
+            matrix=args.matrix,
+        )
+        elapsed = time.perf_counter() - t0
+        if args.json:
+            records.append(
+                {
+                    "experiment": name,
+                    "seconds": elapsed,
+                    "result": result.to_dict(),
+                }
+            )
+        else:
+            print(result.render())
+            print(f"[{name}] harness wall time: {elapsed:.1f}s\n")
     if args.json:
         print(
             json.dumps(
@@ -196,6 +186,141 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     return 0
+
+
+def _orchestrate_command(args: argparse.Namespace) -> int:
+    from .orchestrate import orchestrate
+
+    try:
+        outcome = orchestrate(
+            args.config,
+            out=args.out,
+            report=args.report,
+            echo=lambda line: print(line, file=sys.stderr),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.summary())
+    if outcome.report_path is not None:
+        print(f"report: {outcome.report_path}")
+    return 0 if outcome.ok else 1
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    from .report import render_report
+
+    try:
+        index = render_report(args.results_dir, out=args.out)
+    except (ValueError, OSError) as exc:
+        print(f"report error: {exc}", file=sys.stderr)
+        return 2
+    print(f"report: {index}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The one parser behind every ``repro-bench`` invocation."""
+    from . import history, snapshot
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'The Reverse "
+            "Cuthill-McKee Algorithm in Distributed-Memory' (IPDPS 2017) "
+            "on the simulated distributed machine, manage the perf "
+            "history, and orchestrate benchmark campaigns."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND", required=True)
+
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all') and print/serialize its result",
+        description=(
+            "Regenerate one paper table/figure.  'repro-bench EXPERIMENT' "
+            "without the 'run' keyword is the deprecated alias."
+        ),
+    )
+    _add_run_arguments(run_p)
+    run_p.set_defaults(_dispatch=_run_command)
+
+    snap_p = sub.add_parser(
+        "snapshot",
+        help="measure the perf-metric set and write a BENCH.json snapshot",
+        description=snapshot.DESCRIPTION,
+    )
+    snapshot.add_arguments(snap_p)
+    snap_p.set_defaults(_dispatch=snapshot.run)
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="diff two BENCH.json snapshots and gate on regressions",
+        description=history.DESCRIPTION,
+    )
+    history.add_arguments(cmp_p)
+    cmp_p.set_defaults(_dispatch=history.run)
+
+    orch_p = sub.add_parser(
+        "orchestrate",
+        help="run a declarative benchmark campaign from a JSON/TOML config",
+        description=(
+            "Expand a campaign config (experiments x matrices x engines x "
+            "backends x directions) into a run matrix, fan the runs out "
+            "over a worker pool, persist each as an ExperimentResult "
+            "JSON, and keep a resumable manifest — rerunning skips "
+            "completed runs."
+        ),
+    )
+    orch_p.add_argument("config", metavar="CONFIG", help="campaign config path")
+    orch_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="results directory (default: the config's 'out', else campaign-out)",
+    )
+    orch_p.add_argument(
+        "--report",
+        action="store_true",
+        help="render the static HTML report after the campaign",
+    )
+    orch_p.set_defaults(_dispatch=_orchestrate_command)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render the static HTML report for a campaign results directory",
+        description=(
+            "Render index.html (campaign tables, per-matrix drilldowns, "
+            "and BENCH*.json trend plots) from a results directory "
+            "written by 'repro-bench orchestrate'."
+        ),
+    )
+    rep_p.add_argument(
+        "results_dir", metavar="DIR", help="campaign results directory"
+    )
+    rep_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="report output directory (default: DIR/report)",
+    )
+    rep_p.set_defaults(_dispatch=_report_command)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # legacy positional form: 'repro-bench fig4 --quick' predates the
+    # subcommand CLI — keep it working as an alias for 'run'
+    if argv and argv[0] in EXPERIMENTS or argv[:1] == ["all"]:
+        print(
+            f"note: 'repro-bench {argv[0]}' is deprecated; "
+            f"use 'repro-bench run {argv[0]}'",
+            file=sys.stderr,
+        )
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+    return args._dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

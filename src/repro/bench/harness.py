@@ -253,14 +253,18 @@ _FIG4_SEGMENTS = [
 ]
 
 
-def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
+def run_fig4(
+    scale: float = 1.0, quick: bool = False, names=None, direction: str = "push"
+) -> ExperimentResult:
     tables = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
         cores = _scaling_cores(quick)
         if name in ("nm7", "nlpkkt240") and not quick:
             cores = [c for c in paper_core_counts(4056) if c >= 54]
-        points = strong_scaling_rcm(A, cores, machine=_calibrated_machine(name, A))
+        points = strong_scaling_rcm(
+            A, cores, machine=_calibrated_machine(name, A), direction=direction
+        )
         base = points[0]
         rows = []
         for p in points:
@@ -297,6 +301,7 @@ def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
         params=_params(
             scale, quick, names,
             machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+            direction=direction,
         ),
         machine=edison(),
     )
@@ -305,12 +310,16 @@ def run_fig4(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
 # ----------------------------------------------------------------------
 # Fig. 5 — SpMSpV computation vs communication
 # ----------------------------------------------------------------------
-def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
+def run_fig5(
+    scale: float = 1.0, quick: bool = False, names=None, direction: str = "push"
+) -> ExperimentResult:
     tables = []
     for name in _suite_names(quick, names):
         A = PAPER_SUITE[name].build(scale)
         cores = [c for c in _scaling_cores(quick) if c >= 6]
-        points = strong_scaling_rcm(A, cores, machine=_calibrated_machine(name, A))
+        points = strong_scaling_rcm(
+            A, cores, machine=_calibrated_machine(name, A), direction=direction
+        )
         rows = []
         crossover = None
         for p in points:
@@ -335,6 +344,7 @@ def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
         params=_params(
             scale, quick, names,
             machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+            direction=direction,
         ),
         machine=edison(),
     )
@@ -343,7 +353,9 @@ def run_fig5(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
 # ----------------------------------------------------------------------
 # Fig. 6 — flat MPI vs hybrid for ldoor
 # ----------------------------------------------------------------------
-def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentResult:
+def run_fig6(
+    scale: float = 1.0, quick: bool = False, names=None, direction: str = "push"
+) -> ExperimentResult:
     A = PAPER_SUITE["ldoor"].build(scale)
     # the full paper axis runs to 4096 cores: flat MPI at 4096 cores is
     # 4096 simulated ranks, which the rank-vectorized engine executes as
@@ -352,8 +364,12 @@ def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
     # per-rank driver capped this axis at 256
     cores = [1, 4, 16, 64] if quick else paper_core_counts(4096, small=True)
     machine = _calibrated_machine("ldoor", A)
-    flat = strong_scaling_rcm(A, cores, threads_per_process=1, machine=machine)
-    hybrid = strong_scaling_rcm(A, cores, threads_per_process=6, machine=machine)
+    flat = strong_scaling_rcm(
+        A, cores, threads_per_process=1, machine=machine, direction=direction
+    )
+    hybrid = strong_scaling_rcm(
+        A, cores, threads_per_process=6, machine=machine, direction=direction
+    )
     rows = []
     for f, h in zip(flat, hybrid):
         rows.append(
@@ -376,6 +392,7 @@ def run_fig6(scale: float = 1.0, quick: bool = False, names=None) -> ExperimentR
         params=_params(
             scale, quick, names,
             machine_scaling="edison().scaled(A.nnz / paper_nnz) per matrix",
+            direction=direction,
         ),
         machine=edison(),
     )

@@ -353,15 +353,15 @@ def _trend_paths(old: pathlib.Path, new: pathlib.Path) -> list[pathlib.Path]:
     return sorted(found)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-bench compare",
-        description=(
-            "Diff two BENCH.json snapshots, print the per-metric "
-            "classification and the trend across all BENCH*.json files, "
-            "and exit non-zero on regression."
-        ),
-    )
+DESCRIPTION = (
+    "Diff two BENCH.json snapshots, print the per-metric "
+    "classification and the trend across all BENCH*.json files, "
+    "and exit non-zero on regression."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install the compare flags (shared by the unified CLI)."""
     parser.add_argument(
         "old",
         metavar="OLD",
@@ -405,9 +405,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the BENCH*.json trend table",
     )
-    args = parser.parse_args(argv)
+    parser.set_defaults(_parser=parser)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed compare invocation."""
     if args.tolerance <= 1.0:
-        parser.error(f"--tolerance must be > 1, got {args.tolerance}")
+        args._parser.error(f"--tolerance must be > 1, got {args.tolerance}")
     if args.trend:
         # fuzzbench-style continuous-benchmarking view: the whole
         # BENCH*.json history as one table, no gating — the inputs (if
@@ -424,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
         print(trend_table(paths))
         return 0
     if args.old is None or args.new is None:
-        parser.error("OLD and NEW are required unless --trend is given")
+        args._parser.error("OLD and NEW are required unless --trend is given")
     old_path, new_path = pathlib.Path(args.old), pathlib.Path(args.new)
     try:
         old = load_snapshot_file(old_path)
@@ -448,6 +453,15 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("\nOK: no regressions beyond tolerance")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the unified CLI calls :func:`run`)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench compare", description=DESCRIPTION
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,10 +34,13 @@ from ..machine.params import MachineParams
 
 __all__ = [
     "RESULT_KIND",
+    "CAMPAIGN_KIND",
+    "MANIFEST_KIND",
     "SCHEMA_VERSION",
     "SchemaError",
     "ResultTable",
     "ExperimentResult",
+    "CampaignConfig",
     "experiment_result",
     "coerce_scalar",
     "git_metadata",
@@ -50,6 +53,12 @@ SCHEMA_VERSION = 1
 
 #: The ``kind`` discriminator of a serialized :class:`ExperimentResult`.
 RESULT_KIND = "repro-bench-result"
+
+#: The ``kind`` discriminator of a campaign config document.
+CAMPAIGN_KIND = "repro-bench-campaign"
+
+#: The ``kind`` discriminator of a campaign's resume manifest.
+MANIFEST_KIND = "repro-bench-campaign-manifest"
 
 
 class SchemaError(ValueError):
@@ -259,6 +268,196 @@ class ExperimentResult:
             )
         except KeyError as exc:
             raise SchemaError(f"result document missing key {exc}") from None
+
+
+@dataclass
+class CampaignConfig:
+    """A declarative benchmark campaign: the orchestrator's input.
+
+    The cross product ``experiments x matrices x engines x backends x
+    directions`` is the raw run matrix; the orchestrator normalizes each
+    cell per experiment (a knob an experiment does not implement is
+    dropped — see :data:`repro.bench.api.EXTRA_KNOBS`) and deduplicates,
+    so e.g. two engines collapse to one run for an engine-unaware
+    experiment instead of running it twice.
+
+    ``matrices`` entries are paper-suite names, or ``zoo:<name>`` specs
+    for the ``ingest`` experiment.  ``None`` axis entries mean "the
+    experiment's default" (full/quick suite, default backend, push).
+    ``workers`` is the campaign worker-pool size: ``None`` reads
+    ``REPRO_TEST_PROCS`` (default 2), ``0`` runs inline in the driver
+    (no crash isolation — test/debug mode).  ``retries`` bounds how
+    often a *crashed or hung* run is re-dispatched after pool repair;
+    an ordinary in-run exception is deterministic and fails immediately.
+    """
+
+    experiments: list[str]
+    name: str = "campaign"
+    matrices: list[str | None] = field(default_factory=lambda: [None])
+    engines: list[str | None] = field(default_factory=lambda: [None])
+    backends: list[str | None] = field(default_factory=lambda: [None])
+    directions: list[str | None] = field(default_factory=lambda: [None])
+    scale: float = 1.0
+    quick: bool = False
+    procs: int | None = None
+    workers: int | None = None
+    retries: int = 1
+    deadline_seconds: float | None = 600.0
+    out: str | None = None
+
+    _AXES = ("matrices", "engines", "backends", "directions")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignConfig":
+        """Build + validate a config from a parsed JSON/TOML document."""
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"campaign config must be an object, got {type(doc).__name__}"
+            )
+        doc = dict(doc)
+        kind = doc.pop("kind", CAMPAIGN_KIND)
+        if kind != CAMPAIGN_KIND:
+            raise SchemaError(f"expected kind {CAMPAIGN_KIND!r}, got {kind!r}")
+        version = doc.pop("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported campaign schema_version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        known = {
+            "name", "experiments", "matrices", "engines", "backends",
+            "directions", "scale", "quick", "procs", "workers", "retries",
+            "deadline_seconds", "out",
+        }
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise SchemaError(
+                f"unknown campaign config keys {unknown}: expected a subset "
+                f"of {sorted(known)}"
+            )
+        if "experiments" not in doc:
+            raise SchemaError("campaign config missing required key 'experiments'")
+        for axis in ("experiments",) + cls._AXES:
+            if axis in doc and not isinstance(doc[axis], list):
+                raise SchemaError(
+                    f"campaign key {axis!r} must be a list, got "
+                    f"{type(doc[axis]).__name__}"
+                )
+        config = cls(**doc)
+        config.validate()
+        return config
+
+    def validate(self) -> None:
+        """Check every axis value against the live registries.
+
+        Imports lazily: the registries (experiment table, backend list,
+        graph zoo) live above this module in the layering.
+        """
+        from ..backends import available_backends
+        from .api import EXTRA_KNOBS, KNOWN_DIRECTIONS, KNOWN_ENGINES
+
+        if not self.experiments:
+            raise SchemaError("campaign config 'experiments' must be non-empty")
+        from .harness import EXPERIMENTS
+
+        for name in self.experiments:
+            if name not in EXPERIMENTS:
+                raise SchemaError(
+                    f"unknown experiment {name!r}: expected one of "
+                    f"{sorted(EXPERIMENTS)}"
+                )
+        for axis in self._AXES:
+            if not getattr(self, axis):
+                raise SchemaError(f"campaign config {axis!r} must be non-empty")
+        for spec in self.matrices:
+            if spec is not None:
+                self._validate_matrix(spec)
+        for engine in self.engines:
+            if engine is not None and engine not in KNOWN_ENGINES:
+                raise SchemaError(
+                    f"unknown engine {engine!r}: expected one of "
+                    f"{sorted(KNOWN_ENGINES)}"
+                )
+        for backend in self.backends:
+            if backend is not None and backend not in available_backends():
+                raise SchemaError(
+                    f"unknown backend {backend!r}: expected one of "
+                    f"{sorted(available_backends())}"
+                )
+        for direction in self.directions:
+            if direction is not None and direction not in KNOWN_DIRECTIONS:
+                raise SchemaError(
+                    f"unknown direction {direction!r}: expected one of "
+                    f"{sorted(KNOWN_DIRECTIONS)}"
+                )
+        if self.scale <= 0:
+            raise SchemaError(f"campaign scale must be > 0, got {self.scale}")
+        if self.procs is not None and self.procs < 1:
+            raise SchemaError(f"campaign procs must be >= 1, got {self.procs}")
+        if self.workers is not None and self.workers < 0:
+            raise SchemaError(
+                f"campaign workers must be >= 0, got {self.workers}"
+            )
+        if self.retries < 0:
+            raise SchemaError(f"campaign retries must be >= 0, got {self.retries}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise SchemaError(
+                f"campaign deadline_seconds must be > 0, got "
+                f"{self.deadline_seconds}"
+            )
+        # a knob axis that no requested experiment implements is a
+        # config mistake, not something to silently normalize away
+        if any(e is not None for e in self.engines) and not any(
+            "engine" in EXTRA_KNOBS.get(x, ()) for x in self.experiments
+        ):
+            raise SchemaError(
+                "campaign sets 'engines' but no requested experiment is "
+                "engine-aware (only 'calibration' is)"
+            )
+        if any(d is not None for d in self.directions) and not any(
+            "direction" in EXTRA_KNOBS.get(x, ()) for x in self.experiments
+        ):
+            raise SchemaError(
+                "campaign sets 'directions' but no requested experiment has "
+                "a direction switch (fig4/fig5/fig6 do)"
+            )
+
+    @staticmethod
+    def _validate_matrix(spec: str) -> None:
+        from ..matrices.suite import PAPER_SUITE
+        from ..matrices.zoo import GRAPH_ZOO
+
+        if spec.startswith("zoo:"):
+            name = spec[len("zoo:"):]
+            if name not in GRAPH_ZOO:
+                raise SchemaError(
+                    f"unknown zoo matrix {spec!r}: expected one of "
+                    f"{sorted('zoo:' + z for z in GRAPH_ZOO)}"
+                )
+        elif spec not in PAPER_SUITE:
+            raise SchemaError(
+                f"unknown matrix {spec!r}: expected a paper-suite name "
+                f"{sorted(PAPER_SUITE)} or a 'zoo:<name>' spec"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": CAMPAIGN_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "matrices": list(self.matrices),
+            "engines": list(self.engines),
+            "backends": list(self.backends),
+            "directions": list(self.directions),
+            "scale": self.scale,
+            "quick": self.quick,
+            "procs": self.procs,
+            "workers": self.workers,
+            "retries": self.retries,
+            "deadline_seconds": self.deadline_seconds,
+            "out": self.out,
+        }
 
 
 def experiment_result(

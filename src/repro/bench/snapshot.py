@@ -520,15 +520,15 @@ def _summary_table(doc: dict) -> str:
     return format_table(["metric", "value", "unit", "direction"], rows)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-bench snapshot",
-        description=(
-            "Measure the curated perf-metric set and write a "
-            "schema-versioned BENCH.json snapshot (see 'repro-bench "
-            "compare' for diffing two snapshots)."
-        ),
-    )
+DESCRIPTION = (
+    "Measure the curated perf-metric set and write a "
+    "schema-versioned BENCH.json snapshot (see 'repro-bench "
+    "compare' for diffing two snapshots)."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install the snapshot flags (shared by the unified CLI)."""
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -553,9 +553,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="override the best-of repeat count of the chosen protocol",
     )
-    args = parser.parse_args(argv)
+    parser.set_defaults(_parser=parser)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed snapshot invocation."""
     if args.repeats is not None and args.repeats < 1:
-        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+        args._parser.error(f"--repeats must be >= 1, got {args.repeats}")
     config = QUICK_CONFIG if args.quick else FULL_CONFIG
     if args.repeats is not None:
         from dataclasses import replace
@@ -570,6 +575,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{doc['snapshot_wall_seconds']:.1f}s total)"
     )
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (the unified CLI calls :func:`run`)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench snapshot", description=DESCRIPTION
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ def strong_scaling_rcm(
     threads_per_process: int = 6,
     machine: MachineParams | None = None,
     random_permute: int | None = 0,
+    direction: str = "push",
 ) -> list[ScalePoint]:
     """Run distributed RCM at each core count; collect breakdowns.
 
@@ -45,7 +46,9 @@ def strong_scaling_rcm(
     ``threads_per_process=1`` gives the flat-MPI runs of Fig. 6.
     The load-balancing random permutation is on by default, as in the
     paper (Section IV.A); quality is permutation-independent and the
-    orderings at different core counts remain identical.
+    orderings at different core counts remain identical.  ``direction``
+    selects the SpMSpV traversal (push/pull/adaptive — see
+    :mod:`repro.core.direction`); the paper's runs are push-only.
     """
     base = machine or edison()
     points: list[ScalePoint] = []
@@ -56,7 +59,7 @@ def strong_scaling_rcm(
 
         ctx = DistContext(cfg.grid, m)
         result = rcm_distributed(
-            A, ctx=ctx, random_permute=random_permute
+            A, ctx=ctx, random_permute=random_permute, direction=direction
         )
         points.append(
             ScalePoint(

@@ -183,3 +183,18 @@ def _service_rcm(state: RuntimeState, payload) -> tuple:
     from ..service.requests import execute_request
 
     return execute_request(payload)
+
+
+@task("bench_run")
+def _bench_run(state: RuntimeState, payload) -> tuple:
+    """One orchestrated benchmark run (a whole experiment) on a worker.
+
+    The campaign orchestrator's executor: payloads come from
+    :func:`repro.bench.orchestrate.expand_runs` as ``(experiment,
+    backend, kwargs)`` and errors return in-band (``("err",
+    traceback)``) so one failing experiment cannot abort its wave —
+    only a worker crash/hang reaches the pool's repair path.
+    """
+    from ..bench.orchestrate import execute_run
+
+    return execute_run(payload)

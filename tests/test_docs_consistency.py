@@ -77,7 +77,14 @@ def test_readme_commands_exist():
     readme = (ROOT / "README.md").read_text()
     for m in re.finditer(r"repro-bench ([a-z0-9-]+)", readme):
         name = m.group(1)
-        assert name in EXPERIMENTS or name in ("all", "snapshot", "compare"), name
+        assert name in EXPERIMENTS or name in (
+            "all",
+            "snapshot",
+            "compare",
+            "run",
+            "orchestrate",
+            "report",
+        ), name
 
 
 def test_readme_documents_the_process_engine():
