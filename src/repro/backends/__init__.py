@@ -8,41 +8,75 @@ Those dispatchers resolve a :class:`~repro.backends.base.KernelBackend`
 from this registry, so swapping the kernel implementation is one call
 (or one ``repro-bench --backend`` flag) with zero algorithm changes.
 
-Two backends ship:
+Three backends ship:
 
 * ``"numpy"`` — the pure-numpy reference (always available, the oracle);
 * ``"scipy"`` — scipy.sparse compiled gathers (registered only when
-  scipy imports cleanly).
+  scipy imports cleanly);
+* ``"numba"`` — JIT-compiled kernels with a threaded per-rank path
+  (registered only when numba imports cleanly; configure with
+  ``"numba:threads=N"``).
 
-Usage
------
->>> from repro.backends import available_backends, use_backend
->>> "numpy" in available_backends()
-True
->>> with use_backend("numpy"):
-...     pass  # all kernel calls in this block use the numpy backend
+Backends are addressed by *spec string* — ``"name"`` or
+``"name:knob=value,..."`` (:class:`~repro.backends.spec.BackendSpec`).
+Resolution is explicit::
+
+    from repro.backends import resolve_backend, backend_scope
+
+    kernels = resolve_backend("numba:threads=4")   # configured instance
+    kernels = resolve_backend(None)                # the current default
+
+    with backend_scope("scipy"):
+        ...  # kernel dispatch in this context uses scipy
+
+:func:`backend_scope` is a context-variable scope: it nests, is safe
+under asyncio, and never leaks across contexts.  The legacy
+process-global API (:func:`get_backend`, :func:`use_backend`,
+:func:`set_default_backend`) survives as thin deprecated shims.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
+import warnings
 from typing import Iterator
 
 from .base import KernelBackend
 from .numpy_backend import NumpyBackend
+from .spec import BackendSpec
 
 __all__ = [
     "KernelBackend",
+    "BackendSpec",
     "register_backend",
     "available_backends",
-    "get_backend",
+    "resolve_backend",
+    "backend_scope",
+    "current_spec",
     "default_backend",
+    # deprecated aliases
+    "get_backend",
     "set_default_backend",
     "use_backend",
 ]
 
 _REGISTRY: dict[str, KernelBackend] = {}
-_DEFAULT: str = "numpy"
+
+#: Memoized configured instances, keyed by canonical spec string, so
+#: per-call resolution of e.g. "numba:threads=4" reuses one instance
+#: (and its warmed-up JIT state) instead of rebuilding it.
+_CONFIGURED: dict[str, KernelBackend] = {}
+
+#: Context-local default spec string; ``None`` falls through to the
+#: process-wide fallback below.
+_SCOPE: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_backend_scope", default=None
+)
+
+#: Process-wide fallback default, written only by the deprecated
+#: :func:`set_default_backend` shim (and at import time).
+_FALLBACK: str = "numpy"
 
 
 def register_backend(backend: KernelBackend, overwrite: bool = False) -> None:
@@ -50,6 +84,10 @@ def register_backend(backend: KernelBackend, overwrite: bool = False) -> None:
     if backend.name in _REGISTRY and not overwrite:
         raise ValueError(f"backend {backend.name!r} already registered")
     _REGISTRY[backend.name] = backend
+    # configured instances derived from a replaced base are stale
+    if overwrite:
+        for key in [k for k in _CONFIGURED if BackendSpec.parse(k).name == backend.name]:
+            del _CONFIGURED[key]
 
 
 def available_backends() -> list[str]:
@@ -58,45 +96,141 @@ def available_backends() -> list[str]:
 
 
 def default_backend() -> str:
-    """Name of the process-wide default backend."""
-    return _DEFAULT
+    """Spec string of the currently-default backend (scope-aware)."""
+    scoped = _SCOPE.get()
+    return scoped if scoped is not None else _FALLBACK
 
 
-def set_default_backend(name: str) -> None:
-    """Make ``name`` the process-wide default for all kernel dispatch."""
-    global _DEFAULT
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown backend {name!r}; available: {available_backends()}"
-        )
-    _DEFAULT = name
+def current_spec() -> BackendSpec:
+    """The currently-default backend as a parsed :class:`BackendSpec`."""
+    return BackendSpec.parse(default_backend())
 
 
-def get_backend(which: str | KernelBackend | None = None) -> KernelBackend:
-    """Resolve a backend: an instance passes through, a name looks up,
-    ``None`` returns the process-wide default."""
+def resolve_backend(
+    which: str | BackendSpec | KernelBackend | None = None,
+) -> KernelBackend:
+    """Resolve a backend reference to a ready instance.
+
+    Accepts, in order of precedence:
+
+    * a :class:`KernelBackend` instance — passes through unchanged;
+    * a spec string (``"numpy"``, ``"numba:threads=4"``) or a parsed
+      :class:`BackendSpec` — registry lookup plus knob configuration;
+    * ``None`` — the context's current default (see
+      :func:`backend_scope` / :func:`default_backend`).
+
+    Unknown names raise ``KeyError``; malformed specs and unknown or
+    invalid knobs raise ``ValueError`` — both with actionable messages,
+    so CLI/config layers can surface them verbatim.
+    """
     if isinstance(which, KernelBackend):
         return which
     if which is None:
-        which = _DEFAULT
+        which = default_backend()
+    if isinstance(which, str):
+        # fast path: bare registry name, no knobs to parse
+        if ":" not in which:
+            try:
+                return _REGISTRY[which]
+            except KeyError:
+                raise KeyError(
+                    f"unknown backend {which!r}; available: {available_backends()}"
+                ) from None
+        spec = BackendSpec.parse(which)
+    elif isinstance(which, BackendSpec):
+        spec = which
+    else:
+        raise TypeError(
+            f"cannot resolve a backend from {type(which).__name__!r}"
+        )
     try:
-        return _REGISTRY[which]
+        base = _REGISTRY[spec.name]
     except KeyError:
         raise KeyError(
-            f"unknown backend {which!r}; available: {available_backends()}"
+            f"unknown backend {spec.name!r}; available: {available_backends()}"
         ) from None
+    if not spec.knobs:
+        return base
+    key = str(spec)
+    configured = _CONFIGURED.get(key)
+    if configured is None:
+        configured = base.with_knobs(**spec.knobs_dict)
+        _CONFIGURED[key] = configured
+    return configured
+
+
+@contextlib.contextmanager
+def backend_scope(
+    which: str | BackendSpec | KernelBackend | None,
+) -> Iterator[KernelBackend]:
+    """Make ``which`` the default backend within this context.
+
+    Context-variable based: nests cleanly, follows tasks under asyncio,
+    and is restored on exit even across exceptions.  Yields the resolved
+    instance.
+    """
+    resolved = resolve_backend(which)
+    if isinstance(which, KernelBackend):
+        spec_string = which.spec_string
+        # an unregistered ad-hoc instance cannot be named by spec string;
+        # re-resolving its name inside the scope must find *it*
+        try:
+            reachable = resolve_backend(spec_string) is which
+        except (KeyError, ValueError):
+            reachable = False
+        if not reachable:
+            raise ValueError(
+                f"backend instance {which!r} is not reachable via its spec "
+                f"string {spec_string!r}; register it first"
+            )
+    else:
+        spec_string = str(resolved.spec_string if which is None else which)
+    token = _SCOPE.set(spec_string)
+    try:
+        yield resolved
+    finally:
+        _SCOPE.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Deprecated process-global API (thin shims, byte-stable behavior)
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.backends.{old} is deprecated; use repro.backends.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def set_default_backend(name: str) -> None:
+    """Deprecated: make ``name`` the process-wide default for dispatch.
+
+    Use :func:`backend_scope` for scoped selection instead.  This shim
+    writes the process-wide fallback *beneath* the context variable, so
+    an enclosing :func:`backend_scope` still wins.
+    """
+    global _FALLBACK
+    _deprecated("set_default_backend", "backend_scope")
+    resolve_backend(name)  # validate: KeyError/ValueError as before
+    _FALLBACK = name
+
+
+def get_backend(which: str | KernelBackend | None = None) -> KernelBackend:
+    """Deprecated alias of :func:`resolve_backend` (same resolution rules)."""
+    _deprecated("get_backend", "resolve_backend")
+    return resolve_backend(which)
 
 
 @contextlib.contextmanager
 def use_backend(name: str) -> Iterator[KernelBackend]:
-    """Temporarily switch the process-wide default backend."""
-    global _DEFAULT
-    previous = _DEFAULT
-    set_default_backend(name)
-    try:
-        yield _REGISTRY[name]
-    finally:
-        _DEFAULT = previous
+    """Deprecated: temporarily switch the default backend.
+
+    Delegates to :func:`backend_scope`; kept for callers of the PR1 API.
+    """
+    _deprecated("use_backend", "backend_scope")
+    with backend_scope(name) as resolved:
+        yield resolved
 
 
 register_backend(NumpyBackend())
@@ -109,3 +243,12 @@ except ImportError:  # pragma: no cover - depends on environment
     ScipyBackend = None  # type: ignore[assignment,misc]
 else:
     register_backend(ScipyBackend())
+
+# numba is optional too: the compiled threaded backend registers only
+# when numba imports cleanly (same pattern; see backends/numba_backend.py)
+try:
+    from .numba_backend import NumbaBackend
+except ImportError:  # pragma: no cover - depends on environment
+    NumbaBackend = None  # type: ignore[assignment,misc]
+else:
+    register_backend(NumbaBackend())

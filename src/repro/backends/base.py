@@ -29,6 +29,23 @@ Backends must be *result-compatible* with the pure-numpy reference:
 This is what keeps RCM orderings identical across backends — the paper's
 determinism guarantee must survive a backend swap, and the cross-backend
 tests enforce it.
+
+Capabilities
+------------
+Backends describe themselves through class attributes the resolution and
+bench layers consult (DESIGN.md §14):
+
+* ``knobs`` — the spec-string knob names the backend accepts
+  (``numba:threads=4`` works because the numba backend lists
+  ``"threads"``); :meth:`KernelBackend.with_knobs` builds a configured
+  instance and rejects anything else with an actionable error.
+* ``supports_threads`` — True when the ``threads`` knob maps to real
+  within-rank parallelism (the machine model's ``threads_per_process``
+  measured, not just modeled).
+* ``compiled`` — True when kernels JIT/AOT compile, which tells callers
+  that first-call latency is compile time; :meth:`KernelBackend.warmup`
+  forces compilation outside measured regions (the bench harness and
+  worker pools call it before timing).
 """
 
 from __future__ import annotations
@@ -50,6 +67,55 @@ class KernelBackend(abc.ABC):
 
     #: Registry key; subclasses must override.
     name: str = "abstract"
+
+    #: Spec-string knob names this backend accepts (``name:knob=value``).
+    knobs: frozenset[str] = frozenset()
+
+    #: True when the ``threads`` knob drives real within-rank threading.
+    supports_threads: bool = False
+
+    #: True when kernels compile on first call (callers should warm up).
+    compiled: bool = False
+
+    @property
+    def spec_string(self) -> str:
+        """Canonical spec string reproducing this instance via resolution.
+
+        The base form is just the registry name; configured backends
+        (see :meth:`with_knobs`) append their knobs, so the string is a
+        portable, picklable reference — the distributed runtime ships it
+        to worker processes instead of the instance.
+        """
+        return self.name
+
+    def with_knobs(self, **knobs: int | float | bool | str) -> "KernelBackend":
+        """Return an instance configured with the given spec knobs.
+
+        The base implementation accepts only the empty knob set (it
+        returns ``self``) and raises ``ValueError`` otherwise; backends
+        that declare ``knobs`` override this to build a configured copy.
+        """
+        unknown = sorted(set(knobs) - self.knobs)
+        if unknown:
+            accepted = sorted(self.knobs) if self.knobs else "none"
+            raise ValueError(
+                f"backend {self.name!r} does not accept knob(s) "
+                f"{', '.join(repr(k) for k in unknown)}; accepted: {accepted}"
+            )
+        if knobs:  # declared knobs but no override — subclass bug
+            raise NotImplementedError(
+                f"backend {self.name!r} declares knobs but does not "
+                "implement with_knobs()"
+            )
+        return self
+
+    def warmup(self) -> None:
+        """Force any lazy per-process setup (JIT compilation) to happen now.
+
+        A no-op by default.  Compiled backends override it so callers —
+        the bench harness before a measured region, worker pools right
+        after fork — can pay compile cost outside timed code.
+        """
 
     @abc.abstractmethod
     def spmspv_csc(

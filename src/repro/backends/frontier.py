@@ -1,0 +1,34 @@
+"""Shared frontier-semantics helper for the push BFS kernels.
+
+Every push backend (numpy, scipy, numba's gather path) and the batched
+multi-source expansion reduce to the same step: given the multiset of
+neighbor candidates gathered from the frontier's adjacency, keep only
+the still-unvisited ones and deduplicate into a sorted unique vertex
+set.  :func:`filtered_unique` is that one definition — filter *before*
+the dedup sort (the PR1 fast path: on dense graphs the multiset is
+dominated by backward edges, so filtering first shrinks the sort) —
+shared so the frontier semantics cannot drift between backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["filtered_unique"]
+
+
+def filtered_unique(candidates: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Sorted unique ``candidates`` satisfying the dense boolean ``keep``.
+
+    ``candidates`` is a (possibly duplicated, unsorted) int64 vertex
+    multiset; ``keep`` is a dense boolean mask indexed by vertex id.
+    Equivalent to ``np.unique(candidates[keep[candidates]])`` and to the
+    unique-then-filter order — the filter-first form is the fast one.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        return np.empty(0, dtype=np.int64)
+    kept = candidates[keep[candidates]]
+    if kept.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(kept)

@@ -93,14 +93,11 @@ class NumpyBackend(KernelBackend):
         unvisited: np.ndarray,
     ) -> np.ndarray:
         from ..core.bfs import gather_rows
+        from .frontier import filtered_unique
 
-        neigh = gather_rows(A, frontier)
-        if neigh.size == 0:
-            return neigh
-        # drop visited entries before the dedup sort — the multiset is
-        # dominated by backward edges on dense graphs
-        neigh = neigh[unvisited[neigh]]
-        return np.unique(neigh)
+        # filtered_unique drops visited entries before the dedup sort —
+        # the multiset is dominated by backward edges on dense graphs
+        return filtered_unique(gather_rows(A, frontier), unvisited)
 
     def expand_frontier_pull(
         self,

@@ -24,6 +24,7 @@ from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
 from ..sparse.spvector import SparseVector
 from .base import KernelBackend
+from .frontier import filtered_unique
 
 __all__ = ["ScipyBackend"]
 
@@ -169,10 +170,9 @@ class ScipyBackend(KernelBackend):
             return np.empty(0, dtype=np.int64)
         # compiled row slice; its column indices are the neighbor multiset
         sub = _scipy_csr(A)[frontier]
-        if sub.indices.size == 0:
-            return np.empty(0, dtype=np.int64)
-        neigh = np.unique(sub.indices.astype(np.int64, copy=False))
-        return neigh[unvisited[neigh]]
+        return filtered_unique(
+            sub.indices.astype(np.int64, copy=False), unvisited
+        )
 
     def expand_frontier_pull(
         self,

@@ -1,0 +1,136 @@
+"""Backend spec strings: ``"name"`` or ``"name:knob=value,..."``.
+
+A *backend spec* is the one textual currency for selecting a kernel
+backend everywhere a backend crosses a process or serialization
+boundary — the ``repro-bench --backend`` flag, campaign configs,
+``repro.bench.api.run``, the ``repro-serve`` front-end, and the wire
+payloads the distributed runtime ships to its worker processes.  The
+grammar is the registry-plus-spec-string shape fuzzbench uses for
+fuzzer configs::
+
+    numpy                     # bare registry name
+    numba:threads=4           # name plus knobs
+    numba:threads=4,cache=off # knobs are comma-separated key=value
+
+Knob *values* are coerced eagerly: decimal integers become ``int``,
+``true``/``false`` become ``bool``, anything float-like becomes
+``float``, and everything else stays a string.  The reserved ``threads``
+knob is validated here (positive integer) so a malformed thread count is
+rejected at parse time — before any backend, including optional ones
+that may not be importable, is consulted.
+
+Specs are value objects: :meth:`BackendSpec.parse` and ``str()`` round-
+trip through the canonical form (knobs sorted by key), which is also the
+cache key the registry uses to memoize configured backend instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+__all__ = ["BackendSpec"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*\Z")
+_INT_RE = re.compile(r"[+-]?\d+\Z")
+
+#: Knobs with grammar-level meaning, validated at parse time.
+_RESERVED_KNOBS = {"threads"}
+
+
+def _coerce(key: str, raw: str) -> int | float | bool | str:
+    if _INT_RE.match(raw):
+        return int(raw)
+    low = raw.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendSpec:
+    """Parsed, canonical form of a backend spec string.
+
+    Attributes
+    ----------
+    name:
+        The registry name (``"numpy"``, ``"scipy"``, ``"numba"``, ...).
+    knobs:
+        Per-backend configuration as a sorted tuple of ``(key, value)``
+        pairs — hashable, so specs work as dict keys.
+    """
+
+    name: str
+    knobs: tuple[tuple[str, int | float | bool | str], ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "BackendSpec":
+        """Parse ``"name[:k=v,...]"``; raises ``ValueError`` on bad syntax."""
+        if not isinstance(text, str):
+            raise ValueError(
+                f"backend spec must be a string, got {type(text).__name__}"
+            )
+        name, sep, rest = text.partition(":")
+        name = name.strip()
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid backend spec {text!r}: backend name must match "
+                "[A-Za-z_][A-Za-z0-9_-]* (e.g. 'numpy', 'numba:threads=4')"
+            )
+        knobs: dict[str, int | float | bool | str] = {}
+        if sep:
+            if not rest.strip():
+                raise ValueError(
+                    f"invalid backend spec {text!r}: expected knobs after ':' "
+                    "(e.g. 'numba:threads=4')"
+                )
+            for item in rest.split(","):
+                key, eq, raw = item.partition("=")
+                key = key.strip()
+                raw = raw.strip()
+                if not eq or not _NAME_RE.match(key) or not raw:
+                    raise ValueError(
+                        f"invalid backend spec {text!r}: knob {item.strip()!r} "
+                        "is not of the form key=value"
+                    )
+                if key in knobs:
+                    raise ValueError(
+                        f"invalid backend spec {text!r}: duplicate knob {key!r}"
+                    )
+                knobs[key] = _coerce(key, raw)
+        spec = cls(name, tuple(sorted(knobs.items())))
+        spec._validate_reserved()
+        return spec
+
+    def _validate_reserved(self) -> None:
+        knobs = dict(self.knobs)
+        if "threads" in knobs:
+            threads = knobs["threads"]
+            # bool is an int subclass; reject it explicitly
+            if isinstance(threads, bool) or not isinstance(threads, int):
+                raise ValueError(
+                    f"invalid backend spec {str(self)!r}: threads must be an "
+                    f"integer, got {threads!r}"
+                )
+            if threads < 1:
+                raise ValueError(
+                    f"invalid backend spec {str(self)!r}: threads must be >= 1, "
+                    f"got {threads}"
+                )
+
+    @property
+    def knobs_dict(self) -> dict[str, int | float | bool | str]:
+        """The knobs as a fresh mutable mapping."""
+        return dict(self.knobs)
+
+    def __str__(self) -> str:
+        if not self.knobs:
+            return self.name
+        rendered = ",".join(
+            f"{k}={str(v).lower() if isinstance(v, bool) else v}"
+            for k, v in self.knobs
+        )
+        return f"{self.name}:{rendered}"

@@ -35,6 +35,7 @@ from .schema import ExperimentResult
 __all__ = [
     "run",
     "normalize_kwargs",
+    "resolve_backend_spec",
     "EXTRA_KNOBS",
     "SUITE_EXPERIMENTS",
     "KNOWN_ENGINES",
@@ -48,7 +49,9 @@ KNOWN_ENGINES = ("simulated", "processes")
 KNOWN_DIRECTIONS = ("push", "pull", "adaptive")
 
 #: Extra keyword arguments each experiment accepts beyond the universal
-#: ``scale``/``quick``/``names`` trio.  This table *is* the dispatch
+#: knobs — ``scale``/``quick``/``names`` plus ``backend`` (a spec
+#: string applied by :func:`run` as a scope around *any* experiment, so
+#: it never appears per-experiment here).  This table *is* the dispatch
 #: contract — tests pin it against the harness signatures.
 EXTRA_KNOBS: dict[str, frozenset[str]] = {
     "calibration": frozenset({"engine", "procs"}),
@@ -95,6 +98,34 @@ def _check_choice(knob: str, value: str | None, choices) -> None:
         raise ValueError(
             f"unknown {knob} {value!r}: expected one of {sorted(choices)}"
         )
+
+
+def resolve_backend_spec(backend) -> str:
+    """Validate a backend reference and return its canonical spec string.
+
+    Accepts everything :func:`repro.backends.resolve_backend` does —
+    ``None`` (the current default), a spec string like
+    ``"numba:threads=4"``, a parsed ``BackendSpec``, or an instance —
+    and normalizes the error surface to :class:`ValueError` so the CLI,
+    campaign configs, and ``repro-serve`` can report one way.
+    """
+    from ..backends import available_backends, resolve_backend
+
+    try:
+        resolved = resolve_backend(backend)
+    except KeyError:
+        name = backend
+        if isinstance(backend, str):
+            name = backend.split(":", 1)[0]
+        elif backend is not None and hasattr(backend, "name"):
+            name = backend.name
+        raise ValueError(
+            f"unknown backend {name!r}: expected one of "
+            f"{sorted(available_backends())}"
+        ) from None
+    # malformed specs / unknown or invalid knobs already raise ValueError
+    # with an actionable message; let those propagate unchanged
+    return resolved.spec_string
 
 
 def normalize_kwargs(
@@ -172,17 +203,19 @@ def run(
     """Run one registered experiment and return its structured result.
 
     ``backend`` selects the SpMSpV/BFS kernel backend for the whole run
-    (default: the process default, normally numpy); it is recorded in
-    ``result.params``.  All other knobs are normalized per experiment by
-    :func:`normalize_kwargs` — inapplicable ones are silently dropped
-    here (the CLI surfaces them as notes).
+    as a spec string — ``"numpy"``, ``"scipy"``, ``"numba:threads=4"``
+    (default: the context's current default, normally numpy).  The
+    canonical spec string is recorded in ``result.params``.  All other
+    knobs are normalized per experiment by :func:`normalize_kwargs` —
+    inapplicable ones are silently dropped here (the CLI surfaces them
+    as notes).
 
     >>> from repro.bench import run
     >>> result = run("fig3", quick=True, names=["nd24k"])
     >>> result.table().headers[0]
     'cores'
     """
-    from ..backends import available_backends, default_backend, use_backend
+    from ..backends import backend_scope, resolve_backend
 
     kwargs, _ = normalize_kwargs(
         name,
@@ -194,10 +227,12 @@ def run(
         matrix=matrix,
         direction=direction,
     )
-    chosen_backend = backend if backend is not None else default_backend()
-    _check_choice("backend", chosen_backend, available_backends())
+    chosen_backend = resolve_backend_spec(backend)
     fn = EXPERIMENTS[name]
-    with use_backend(chosen_backend):
+    with backend_scope(chosen_backend):
+        # compiled backends JIT on first call; warm outside any region
+        # the experiment itself might time
+        resolve_backend(chosen_backend).warmup()
         result = fn(**kwargs)
     result.params.setdefault("backend", chosen_backend)
     return result

@@ -43,6 +43,16 @@ from .harness import EXPERIMENTS
 __all__ = ["main", "build_parser"]
 
 
+def _backend_spec(text: str) -> str:
+    """argparse type for ``--backend``: validate and canonicalize a spec."""
+    from .api import resolve_backend_spec
+
+    try:
+        return resolve_backend_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     from ..backends import available_backends, default_backend
 
@@ -71,9 +81,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=available_backends(),
+        type=_backend_spec,
         default=default_backend(),
-        help="kernel backend for every SpMSpV/BFS hot kernel",
+        metavar="SPEC",
+        help=(
+            "kernel backend spec for every SpMSpV/BFS hot kernel: a "
+            f"registered name ({', '.join(available_backends())}) "
+            "optionally with knobs, e.g. numba:threads=4"
+        ),
     )
     parser.add_argument(
         "--engine",

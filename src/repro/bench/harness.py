@@ -593,7 +593,7 @@ def measure_spmspv_backends(A, repeats: int = 1):
     backend-ablation experiment and the BENCH snapshot so both always
     measure the same thing.
     """
-    from ..backends import available_backends, get_backend
+    from ..backends import available_backends, resolve_backend
     from ..semiring.semiring import SELECT2ND_MIN
     from ..semiring.spmspv import spmspv_csc
     from ..sparse.csc import CSCMatrix
@@ -603,7 +603,7 @@ def measure_spmspv_backends(A, repeats: int = 1):
     seconds: dict[str, float] = {}
     outputs: dict[str, list] = {}
     for b in available_backends():
-        kernels = get_backend(b)
+        kernels = resolve_backend(b)
 
         def sweep(kernels=kernels):
             return [spmspv_csc(Ac, x, SELECT2ND_MIN, backend=kernels) for x in frontiers]
@@ -619,6 +619,50 @@ def measure_spmspv_backends(A, repeats: int = 1):
     return seconds, identical
 
 
+def measure_thread_scaling(A, backend: str, threads=(1, 6), repeats: int = 1):
+    """Best-of-``repeats`` CSC SpMSpV wall time per thread count, on one
+    threaded backend, over one full BFS's frontiers.
+
+    ``backend`` must name a registered backend with
+    ``supports_threads=True`` (e.g. ``"numba"``); each entry of
+    ``threads`` is measured through the spec ``f"{backend}:threads=k"``
+    after an untimed warmup sweep, so JIT compilation never lands in
+    the timed window.  Returns ``(seconds_by_threads, identical)``
+    where ``identical`` certifies that every thread count produced the
+    same frontiers as the backend's single-thread run — the measured
+    counterpart of the machine model's modeled thread discount
+    (:meth:`~repro.machine.params.MachineParams.thread_speedup`).
+    Shared by the backend-ablation experiment and the BENCH snapshot
+    so both always measure the same thing.
+    """
+    from ..backends import resolve_backend
+    from ..semiring.semiring import SELECT2ND_MIN
+    from ..semiring.spmspv import spmspv_csc
+    from ..sparse.csc import CSCMatrix
+
+    base = resolve_backend(backend)
+    if not base.supports_threads:
+        raise ValueError(f"backend {backend!r} does not support threads")
+    Ac = CSCMatrix(A.nrows, A.ncols, A.indptr, A.indices, A.data)
+    frontiers = bfs_frontiers(A)
+    seconds: dict[int, float] = {}
+    outputs: dict[int, list] = {}
+    for t in threads:
+        kernels = resolve_backend(f"{base.name}:threads={int(t)}")
+
+        def sweep(kernels=kernels):
+            return [
+                spmspv_csc(Ac, x, SELECT2ND_MIN, backend=kernels)
+                for x in frontiers
+            ]
+
+        sweep()  # untimed warmup: JIT compile + matrix handle caches
+        seconds[int(t)], outputs[int(t)] = best_of(repeats, sweep)
+    counts = sorted(outputs)
+    identical = all(outputs[t] == outputs[counts[0]] for t in counts[1:])
+    return seconds, identical
+
+
 def measure_finder_batching(A, starts, repeats: int = 1):
     """Best-of-``repeats`` looped-vs-batched pseudo-peripheral timing.
 
@@ -631,12 +675,12 @@ def measure_finder_batching(A, starts, repeats: int = 1):
     to the scalar loop it is being compared against.  Returns
     ``(looped_seconds, batched_seconds, identical)``.
     """
-    from ..backends import use_backend
+    from ..backends import backend_scope
     from ..core.bfs_multi import find_pseudo_peripheral_multi
     from ..core.pseudo_peripheral import find_pseudo_peripheral_reference
 
     starts = np.asarray(starts, dtype=np.int64)
-    with use_backend("numpy"):
+    with backend_scope("numpy"):
         looped_s, looped = best_of(
             repeats,
             lambda: [find_pseudo_peripheral_reference(A, int(s)) for s in starts],
@@ -948,13 +992,18 @@ def run_driver_overhead(
 def run_backend_ablation(
     scale: float = 1.0, quick: bool = False, names=None
 ) -> ExperimentResult:
-    """Kernel-backend ablation: numpy vs scipy SpMSpV, looped vs batched
-    pseudo-peripheral finder (the PR's two hot-path levers)."""
-    from ..backends import available_backends
+    """Kernel-backend ablation: numpy vs scipy vs any compiled backend
+    SpMSpV, measured thread scaling on threaded backends, looped vs
+    batched pseudo-peripheral finder."""
+    from ..backends import available_backends, resolve_backend
     from ..core.bfs_multi import batching_decision
 
     backends = available_backends()
+    threaded = [b for b in backends if resolve_backend(b).supports_threads]
+    thread_counts = (1, 6)
+    machine = edison()
     kernel_rows = []
+    thread_rows = []
     finder_rows = []
     n_starts = 4 if quick else 8
     for name in _suite_names(quick, names):
@@ -968,6 +1017,21 @@ def run_backend_ablation(
                 "n/a" if same is None else same,
             ]
         )
+
+        for b in threaded:
+            by_threads, t_same = measure_thread_scaling(A, b, thread_counts)
+            t1, tn = by_threads[thread_counts[0]], by_threads[thread_counts[-1]]
+            thread_rows.append(
+                [
+                    name,
+                    b,
+                    t1,
+                    tn,
+                    f"{t1 / max(tn, 1e-300):.2f}x",
+                    f"{machine.thread_speedup(thread_counts[-1]):.2f}x",
+                    t_same,
+                ]
+            )
 
         rng = np.random.default_rng(7)
         starts = rng.choice(A.nrows, min(n_starts, A.nrows), replace=False).astype(
@@ -996,11 +1060,33 @@ def run_backend_ablation(
         finder_rows,
         title="Pseudo-peripheral finder, looped vs batched lockstep:",
     )
+    tables = [kernel_table, finder_table]
+    if thread_rows:
+        tmax = thread_counts[-1]
+        tables.insert(
+            1,
+            ResultTable(
+                [
+                    "matrix",
+                    "backend",
+                    "t=1 s",
+                    f"t={tmax} s",
+                    "measured",
+                    "modeled",
+                    "identical",
+                ],
+                thread_rows,
+                title=(
+                    "Within-rank thread scaling, measured vs the machine "
+                    "model's modeled discount:"
+                ),
+            ),
+        )
     return experiment_result(
         "backend-ablation",
         "Ablation — kernel backends and batched multi-source BFS "
         f"(backends: {', '.join(backends)})",
-        [kernel_table, finder_table],
+        tables,
         notes=[
             "Expected shape: every backend returns identical frontiers and the "
             "batched finder returns identical vertices — determinism survives "
@@ -1009,7 +1095,10 @@ def run_backend_ablation(
             "and can dip below 1x on dense low-diameter graphs.  The "
             "'heuristic' column records the frontier-density fallback's "
             "decision (default production routing): batches on dense or "
-            "shallow graphs run the scalar loop instead."
+            "shallow graphs run the scalar loop instead.  When a threaded "
+            "backend is registered, the thread-scaling table puts its "
+            "measured t=1 vs t=6 speedup next to the machine model's "
+            "Amdahl+NUMA discount for the same thread count."
         ],
         params=_params(scale, quick, names, backends=list(backends)),
     )

@@ -109,8 +109,7 @@ def expand_runs(config: CampaignConfig) -> list[dict]:
     ``zoo:`` matrix specs apply only to ``ingest`` — other experiments
     skip those cells (the zoo graphs are not paper-suite surrogates).
     """
-    from ..backends import default_backend
-    from .api import SUITE_EXPERIMENTS, normalize_kwargs
+    from .api import SUITE_EXPERIMENTS, normalize_kwargs, resolve_backend_spec
 
     runs: list[dict] = []
     seen: set[str] = set()
@@ -131,7 +130,9 @@ def expand_runs(config: CampaignConfig) -> list[dict]:
                     names = [matrix]
             for engine in config.engines:
                 for backend in config.backends:
-                    resolved_backend = backend or default_backend()
+                    # canonical spec string: "numba:threads=4" and its
+                    # reorderings hash to the same run
+                    resolved_backend = resolve_backend_spec(backend)
                     for direction in config.directions:
                         kwargs, _ = normalize_kwargs(
                             experiment,

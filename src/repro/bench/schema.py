@@ -353,8 +353,12 @@ class CampaignConfig:
         Imports lazily: the registries (experiment table, backend list,
         graph zoo) live above this module in the layering.
         """
-        from ..backends import available_backends
-        from .api import EXTRA_KNOBS, KNOWN_DIRECTIONS, KNOWN_ENGINES
+        from .api import (
+            EXTRA_KNOBS,
+            KNOWN_DIRECTIONS,
+            KNOWN_ENGINES,
+            resolve_backend_spec,
+        )
 
         if not self.experiments:
             raise SchemaError("campaign config 'experiments' must be non-empty")
@@ -379,11 +383,14 @@ class CampaignConfig:
                     f"{sorted(KNOWN_ENGINES)}"
                 )
         for backend in self.backends:
-            if backend is not None and backend not in available_backends():
-                raise SchemaError(
-                    f"unknown backend {backend!r}: expected one of "
-                    f"{sorted(available_backends())}"
-                )
+            if backend is None:
+                continue
+            # spec strings ("numba:threads=4") are valid axis entries;
+            # reject unknown names *and* malformed/unknown knobs at load
+            try:
+                resolve_backend_spec(backend)
+            except ValueError as exc:
+                raise SchemaError(str(exc)) from None
         for direction in self.directions:
             if direction is not None and direction not in KNOWN_DIRECTIONS:
                 raise SchemaError(

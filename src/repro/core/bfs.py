@@ -48,14 +48,14 @@ def bfs_levels(
     switches per level on Beamer-style edge-count thresholds.  Levels
     are identical for every direction — only the work profile changes.
     """
-    from ..backends import get_backend
+    from ..backends import resolve_backend
     from .direction import PULL, PUSH, resolve_direction
 
     n = A.nrows
     if not (0 <= root < n):
         raise ValueError("root out of range")
     policy = resolve_direction(direction)
-    kernels = get_backend(backend)
+    kernels = resolve_backend(backend)
     levels = np.full(n, -1, dtype=np.int64)
     unvisited = np.ones(n, dtype=bool)
     levels[root] = 0

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backends.frontier import filtered_unique
 from ..sparse.csr import CSRMatrix
 from .bfs import gather_rows
 
@@ -182,13 +183,10 @@ def _expand_push_multi(
     # already-visited pairs BEFORE the dedup sort, since on dense
     # low-diameter graphs most edges lead backward
     key = np.repeat(src * n, lens) + children
-    key = key[unvisited_flat[key]]
-    if key.size == 0:
-        return np.empty(0, dtype=np.int64)
-    # fused-key unique dedups (source, child) pairs; its ordering
-    # (src-major, child ascending) reproduces the per-source
+    # fused-key filtered_unique dedups (source, child) pairs; its
+    # ordering (src-major, child ascending) reproduces the per-source
     # np.unique ordering of the serial sweep
-    return np.unique(key)
+    return filtered_unique(key, unvisited_flat)
 
 
 def _expand_pull_multi(

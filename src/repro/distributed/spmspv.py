@@ -100,17 +100,21 @@ def _unpack(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 def _backend_name(backend):
     """Engine-portable backend reference.
 
-    Prefers the registry name (resolvable in any process); falls back to
-    the instance itself for unregistered backends, which then must be
-    picklable to cross the processes engine's pipes.
+    Prefers the canonical spec string (resolvable in any process, and
+    covering configured instances like ``"numba:threads=4"``); falls
+    back to the instance itself for unregistered backends, which then
+    must be picklable to cross the processes engine's pipes.
     """
-    from ..backends import available_backends, get_backend
+    from ..backends import resolve_backend
 
-    # resolve ``None`` to the *driver's* current default by name, so
+    # resolve ``None`` to the *driver's* current default by spec, so
     # workers (whose default was frozen at fork time) follow the driver
-    resolved = get_backend(backend)
-    if resolved.name in available_backends() and get_backend(resolved.name) is resolved:
-        return resolved.name
+    resolved = resolve_backend(backend)
+    try:
+        if resolve_backend(resolved.spec_string) is resolved:
+            return resolved.spec_string
+    except (KeyError, ValueError):
+        pass
     return resolved
 
 

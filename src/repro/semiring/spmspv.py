@@ -260,9 +260,9 @@ def spmspv_csc(
         Kernel backend name or instance (:mod:`repro.backends`);
         ``None`` uses the process-wide default.
     """
-    from ..backends import get_backend
+    from ..backends import resolve_backend
 
-    return get_backend(backend).spmspv_csc(A, x, sr, mask)
+    return resolve_backend(backend).spmspv_csc(A, x, sr, mask)
 
 
 def spmspv_csr(
@@ -280,9 +280,9 @@ def spmspv_csr(
     CSC-storage design choice; results are identical to
     :func:`spmspv_csc`.
     """
-    from ..backends import get_backend
+    from ..backends import resolve_backend
 
-    return get_backend(backend).spmspv_csr(A, x, sr, mask)
+    return resolve_backend(backend).spmspv_csr(A, x, sr, mask)
 
 
 def spmspv_pull(
@@ -302,9 +302,9 @@ def spmspv_pull(
     :func:`spmspv_pull_work` operations — the smaller side when the
     frontier is dense.  ``mask=None`` scans every row.
     """
-    from ..backends import get_backend
+    from ..backends import resolve_backend
 
-    return get_backend(backend).spmspv_pull(A, x, sr, mask)
+    return resolve_backend(backend).spmspv_pull(A, x, sr, mask)
 
 
 def spmv_dense(
@@ -314,6 +314,6 @@ def spmv_dense(
 
     Rows with no nonzeros map to the semiring's additive identity.
     """
-    from ..backends import get_backend
+    from ..backends import resolve_backend
 
-    return get_backend(backend).spmv_dense(A, x, sr)
+    return resolve_backend(backend).spmv_dense(A, x, sr)

@@ -28,22 +28,29 @@ from .hashing import build_spec
 __all__ = ["encode_request", "execute_request"]
 
 
-def encode_request(matrix, scale: float = 1.0) -> tuple:
+def encode_request(matrix, scale: float = 1.0, backend: str | None = None) -> tuple:
     """The picklable payload of one serial-lane request.
 
     A :class:`CSRMatrix` ships its arrays verbatim; a spec string ships
     as-is and the worker builds the matrix (deterministic generators:
     the result is the same matrix the driver would have built, without
-    pushing megabytes through the pipe).
+    pushing megabytes through the pipe).  ``backend`` is a kernel
+    backend spec string the worker runs the ordering under; it is
+    appended only when set, so pre-existing payload shapes (and their
+    consumers) are untouched.
     """
     if isinstance(matrix, CSRMatrix):
-        return ("csr", matrix.nrows, matrix.ncols, matrix.indptr,
-                matrix.indices, matrix.data)
-    if isinstance(matrix, str):
-        return ("spec", matrix, scale)
-    raise TypeError(
-        f"expected a CSRMatrix or a spec string, got {type(matrix).__name__}"
-    )
+        payload = ("csr", matrix.nrows, matrix.ncols, matrix.indptr,
+                   matrix.indices, matrix.data)
+    elif isinstance(matrix, str):
+        payload = ("spec", matrix, scale)
+    else:
+        raise TypeError(
+            f"expected a CSRMatrix or a spec string, got {type(matrix).__name__}"
+        )
+    if backend is not None:
+        payload = payload + (("backend", backend),)
+    return payload
 
 
 def execute_request(payload: tuple) -> tuple:
@@ -55,8 +62,21 @@ def execute_request(payload: tuple) -> tuple:
     keeps the batch.
     """
     try:
+        import contextlib
+
+        from ..backends import backend_scope
         from ..core.rcm_serial import rcm_serial
 
+        payload = tuple(payload)
+        backend = None
+        if (
+            payload
+            and isinstance(payload[-1], tuple)
+            and len(payload[-1]) == 2
+            and payload[-1][0] == "backend"
+        ):
+            backend = payload[-1][1]
+            payload = payload[:-1]
         ledger = CostLedger()
         t0 = time.perf_counter()
         kind = payload[0]
@@ -74,7 +94,12 @@ def execute_request(payload: tuple) -> tuple:
             "service:build", time.perf_counter() - t0, operations=A.indices.size
         )
         t1 = time.perf_counter()
-        ordering = rcm_serial(A)
+        scope = (
+            backend_scope(backend) if backend is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            ordering = rcm_serial(A)
         ledger.charge_compute(
             "service:rcm", time.perf_counter() - t1, operations=A.indices.size
         )

@@ -138,6 +138,10 @@ class ServiceConfig:
     disk_cache_dir: Any = None
     #: bounded entry count of the disk tier
     disk_cache_capacity: int = 4096
+    #: kernel-backend spec for both lanes ("numpy", "numba:threads=4",
+    #: ...); None keeps each worker's default.  Compiled backends are
+    #: warmed on every worker at start, so no request pays JIT latency
+    backend: str | None = None
 
 
 @dataclass
@@ -245,9 +249,18 @@ class ReorderingService:
         """Fork and warm the worker pool, start the scheduler."""
         if self._started:
             raise RuntimeError("service already started")
+        if self.config.backend is not None:
+            from ..bench.api import resolve_backend_spec
+
+            # fail fast on a bad spec — before forking a pool for it
+            resolve_backend_spec(self.config.backend)
         self._queue = asyncio.Queue()
         self._pool = WorkerPool(self.config.workers, deadline=self.config.deadline)
         self._pool.ping()  # warm: first dispatch pays no fork/attach cost
+        if self.config.backend is not None:
+            # compiled backends JIT per process: pay it now, not inside
+            # the first client-visible request window
+            self._pool.warm_backend(self.config.backend)
         self._scheduler_task = asyncio.create_task(
             self._scheduler(), name="repro-service-scheduler"
         )
@@ -394,7 +407,8 @@ class ReorderingService:
         serial = [job for job in batch if job.nprocs is None]
         if serial:
             payloads = [
-                encode_request(job.matrix, self.config.scale) for job in serial
+                encode_request(job.matrix, self.config.scale, self.config.backend)
+                for job in serial
             ]
             try:
                 t0 = time.perf_counter()
@@ -455,7 +469,9 @@ class ReorderingService:
             matrix = build_spec(matrix, self.config.scale)
         ctx = self._dist_ctx(job.nprocs)
         t0 = time.perf_counter()
-        result = _rcm_distributed()(matrix, ctx=ctx.fork_ledger())
+        result = _rcm_distributed()(
+            matrix, ctx=ctx.fork_ledger(), backend=self.config.backend
+        )
         compute_ms = (time.perf_counter() - t0) * 1000.0
         return _Computed(
             perm=result.ordering.perm,
